@@ -1,0 +1,54 @@
+// Command ixcp demonstrates the control plane's elastic thread policy
+// (§4.1/§6 future work, implemented here): an IX dataplane starts with
+// one elastic thread; IXCP watches NIC-edge queue depth and core
+// utilization, growing and shrinking the thread set while RSS flow groups
+// migrate between threads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"ix/internal/apps/echo"
+	"ix/internal/cp"
+	"ix/internal/harness"
+)
+
+func main() {
+	maxThreads := flag.Int("max-threads", 6, "hardware queue pairs available")
+	flag.Parse()
+
+	cl := harness.NewCluster(11)
+	m := echo.NewMetrics()
+	cl.AddHost("server", harness.HostSpec{
+		Arch: harness.ArchIX, Cores: 1, MaxThreads: *maxThreads,
+		Factory: echo.ServerFactory(9000, 64),
+	})
+	srv := cl.IXServer(0)
+	srvIP := srv.IP()
+	for i := 0; i < 6; i++ {
+		cl.AddHost("client", harness.HostSpec{
+			Arch: harness.ArchLinux, Cores: 4,
+			Factory: echo.ClientFactory(echo.ClientConfig{
+				ServerIP: srvIP, Port: 9000, MsgSize: 64, Rounds: 64, Conns: 8, Metrics: m,
+			}),
+		})
+	}
+	cl.Start()
+	ctl := cp.New(cl.Eng, srv, cp.DefaultPolicy())
+	ctl.Start()
+
+	fmt.Println("ixcp: elastic thread scaling under a 6-client echo load")
+	for step := 0; step < 10; step++ {
+		m.ResetWindow()
+		cl.Run(5 * time.Millisecond)
+		fmt.Printf("  t=%8v threads=%d rate=%7.0f msg/s drops=%d\n",
+			cl.Eng.Now(), srv.Threads(), float64(m.Msgs.Since())/0.005, srv.RxDrops())
+	}
+	m.Running = false
+	fmt.Println("control plane log:")
+	for _, ev := range ctl.Log {
+		fmt.Printf("  %8v %-8s threads=%d\n", ev.At, ev.Action, ev.Threads)
+	}
+}

@@ -1,0 +1,43 @@
+// Command ixd boots one IX dataplane serving memcached on a simulated
+// testbed, drives it with a mutilate load sweep, and prints live
+// dataplane statistics — a quick way to watch the run-to-completion
+// engine (batch sizes, kernel/user split) respond to load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"ix/internal/harness"
+	"ix/internal/mutilate"
+)
+
+func main() {
+	cores := flag.Int("cores", 4, "elastic threads")
+	batch := flag.Int("batch", 64, "adaptive batch bound B")
+	rps := flag.Float64("rps", 800_000, "offered load (requests/second)")
+	duration := flag.Duration("duration", 100*time.Millisecond, "virtual run time")
+	flag.Parse()
+
+	fmt.Printf("ixd: IX dataplane, %d elastic threads, B=%d, USR workload @ %.0f RPS\n",
+		*cores, *batch, *rps)
+	steps := 5
+	for i := 1; i <= steps; i++ {
+		target := *rps * float64(i) / float64(steps)
+		res := harness.RunMemcached(harness.MemcSetup{
+			ServerArch:  harness.ArchIX,
+			ServerCores: *cores,
+			BatchBound:  *batch,
+			Workload:    mutilate.USR,
+			TargetRPS:   target,
+			ClientHosts: 8,
+			ClientCores: 2,
+			Warmup:      *duration / 4,
+			Window:      *duration,
+		})
+		fmt.Printf("  offered %8.0f RPS → achieved %8.0f RPS  avg %8v  p99 %8v  kernel %4.1f%%\n",
+			target, res.AchievedRPS, res.AgentMean.Round(time.Microsecond),
+			res.AgentP99.Round(time.Microsecond), res.ServerKernelShare*100)
+	}
+}

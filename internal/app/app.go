@@ -1,0 +1,85 @@
+// Package app defines the architecture-independent application interface:
+// the event-driven programming model that libix exposes on IX and that the
+// Linux (libevent/epoll) and mTCP baselines expose through their own
+// adapters. Writing the benchmark applications (echo, NetPIPE, memcached,
+// mutilate agents) against this one interface is what makes the §5
+// comparisons apples-to-apples: the same application logic runs on all
+// three OS architectures, exactly as the paper ports the same memcached to
+// both Linux and IX.
+package app
+
+import (
+	"time"
+
+	"ix/internal/wire"
+)
+
+// Conn is an established connection as seen by the application.
+type Conn interface {
+	// Send queues b for transmission. The bytes are copied (the
+	// libevent-compatible behaviour of libix; §6 notes the extra copy
+	// happens close to use). It returns len(b); flow-control pushback is
+	// delivered through OnSent.
+	Send(b []byte) int
+	// Close performs an orderly close (FIN).
+	Close()
+	// Abort closes with RST, the benchmark-style close of §5.3.
+	Abort()
+	// Cookie returns the user tag attached to the connection.
+	Cookie() any
+	// SetCookie attaches a user tag (Table 1's cookie).
+	SetCookie(v any)
+	// Unsent reports bytes queued but not yet accepted by the stack
+	// (application-level transmit buffering; IX exposes this, the
+	// baselines report their unflushed buffer).
+	Unsent() int
+}
+
+// Handler receives connection events. One handler instance exists per
+// elastic thread / core; the runtime never calls it concurrently.
+type Handler interface {
+	// OnAccept fires when a remotely initiated connection is ready.
+	OnAccept(c Conn)
+	// OnConnected reports the outcome of Env.Connect.
+	OnConnected(c Conn, ok bool)
+	// OnRecv delivers received bytes. data is valid only during the
+	// callback (underlying buffers are recycled after it returns);
+	// handlers copy what they retain.
+	OnRecv(c Conn, data []byte)
+	// OnSent reports acked bytes (flow-control progress).
+	OnSent(c Conn, acked int)
+	// OnEOF reports a peer half-close; the usual response is Close.
+	OnEOF(c Conn)
+	// OnClosed reports connection termination. The Conn is dead.
+	OnClosed(c Conn)
+}
+
+// Env is the per-thread runtime environment handed to applications.
+type Env interface {
+	// Now returns virtual time in nanoseconds.
+	Now() int64
+	// Charge accounts application CPU time on the current core — how
+	// the simulation attributes the app's share of each cycle.
+	Charge(d time.Duration)
+	// Elapsed returns the CPU time already charged in the current
+	// execution context, so Now()+Elapsed() is this thread's true
+	// virtual position within a batch (used e.g. by the memcached lock
+	// contention model).
+	Elapsed() time.Duration
+	// Connect initiates a connection from this thread; OnConnected
+	// reports the outcome.
+	Connect(dst wire.IPv4, port uint16, cookie any) error
+	// Listen accepts connections on port for this thread.
+	Listen(port uint16) error
+	// After schedules fn on this thread's timer service (used by load
+	// generators for pacing and timeouts).
+	After(d time.Duration, fn func())
+	// Thread returns this thread's index on its host.
+	Thread() int
+}
+
+// Factory creates the per-thread application instance at start of day.
+// Threads on the same host share the process address space, so factories
+// may close over shared state (e.g. the memcached store) — the same model
+// as a multithreaded IX application.
+type Factory func(env Env, thread, threads int) Handler

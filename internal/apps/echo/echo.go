@@ -1,0 +1,248 @@
+// Package echo implements the microbenchmark application of §5.2–5.4: the
+// same benchmark used to evaluate MegaPipe and mTCP. Clients connect to a
+// single server port, send a remote request of size s, and wait for an
+// echo of the same size; each client performs this synchronous RPC n
+// times before closing the connection with a reset (TCP RST) to avoid
+// exhausting ephemeral ports. The server holds off its echo until the
+// message has been entirely received (as NetPIPE does).
+//
+// The same handler pair runs on IX, Linux and mTCP via the app interface.
+package echo
+
+import (
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/stats"
+	"ix/internal/wire"
+)
+
+// Server tuning: the per-message application cost of the trivial echo
+// logic (buffer bookkeeping and the send call).
+const serverMsgCost = 100 * time.Nanosecond
+
+// perByteCost is the application's per-byte touch cost (it reads the
+// request and writes the response from cache).
+const perByteCost = 0.05 // ns per byte
+
+// ServerFactory returns an app.Factory serving echo on port with
+// expected message size s.
+func ServerFactory(port uint16, msgSize int) app.Factory {
+	return func(env app.Env, thread, threads int) app.Handler {
+		s := &server{env: env, size: msgSize}
+		if err := env.Listen(port); err != nil {
+			panic(err)
+		}
+		return s
+	}
+}
+
+type server struct {
+	env  app.Env
+	size int
+}
+
+type srvConn struct {
+	got int
+}
+
+func (s *server) OnAccept(c app.Conn) { c.SetCookie(&srvConn{}) }
+
+func (s *server) OnConnected(c app.Conn, ok bool) {}
+
+func (s *server) OnRecv(c app.Conn, data []byte) {
+	st := c.Cookie().(*srvConn)
+	st.got += len(data)
+	s.env.Charge(time.Duration(float64(len(data)) * perByteCost))
+	for st.got >= s.size {
+		st.got -= s.size
+		s.env.Charge(serverMsgCost)
+		c.Send(zeros(s.size))
+	}
+}
+
+func (s *server) OnSent(c app.Conn, n int) {}
+func (s *server) OnEOF(c app.Conn)         { c.Close() }
+func (s *server) OnClosed(c app.Conn)      {}
+
+// Metrics aggregates client-side results. One instance is shared by all
+// client threads of an experiment (host Go memory, not simulated state).
+type Metrics struct {
+	Msgs     stats.Counter
+	Conns    stats.Counter
+	Failures stats.Counter
+	// Latency is per-RPC round-trip time.
+	Latency *stats.Histogram
+	// Running gates reconnects: when false, clients wind down.
+	Running bool
+}
+
+// NewMetrics returns a metrics sink with Running set.
+func NewMetrics() *Metrics {
+	return &Metrics{Latency: stats.NewHistogram(), Running: true}
+}
+
+// ResetWindow starts a measurement window.
+func (m *Metrics) ResetWindow() {
+	m.Msgs.Reset()
+	m.Conns.Reset()
+	m.Latency.Reset()
+}
+
+// ClientConfig parameterizes the echo client load.
+type ClientConfig struct {
+	ServerIP    wire.IPv4
+	Port        uint16
+	MsgSize     int
+	Rounds      int // n round trips per connection; then RST + reconnect
+	Conns       int // concurrent connections per client thread
+	Metrics     *Metrics
+	NoReconnect bool // single-shot connections (NetPIPE uses 1 conn, ∞ rounds)
+
+	// Outstanding, when non-zero, enables the §5.4 rotation mode: the
+	// thread keeps only this many RPCs in flight, rotating round-robin
+	// over its (many) open connections — "each thread repeatedly
+	// performing a 64B RPC with a variable number of active
+	// connections". Rounds is ignored in this mode (connections stay
+	// open).
+	Outstanding int
+}
+
+// clientConn tracks one RPC stream.
+type clientConn struct {
+	rounds int
+	got    int
+	t0     int64
+	busy   bool
+}
+
+// ClientFactory returns an app.Factory generating echo load per cfg.
+func ClientFactory(cfg ClientConfig) app.Factory {
+	return func(env app.Env, thread, threads int) app.Handler {
+		c := &client{env: env, cfg: cfg}
+		for i := 0; i < cfg.Conns; i++ {
+			c.connect()
+		}
+		return c
+	}
+}
+
+type client struct {
+	env app.Env
+	cfg ClientConfig
+
+	// Rotation mode state.
+	ring     []app.Conn
+	cursor   int
+	inFlight int
+}
+
+func (cl *client) connect() {
+	_ = cl.env.Connect(cl.cfg.ServerIP, cl.cfg.Port, nil)
+}
+
+func (cl *client) OnAccept(c app.Conn) {}
+
+func (cl *client) OnConnected(c app.Conn, ok bool) {
+	if !ok {
+		cl.cfg.Metrics.Failures.Inc()
+		if cl.cfg.Metrics.Running && !cl.cfg.NoReconnect {
+			cl.connect()
+		}
+		return
+	}
+	st := &clientConn{}
+	c.SetCookie(st)
+	if cl.cfg.Outstanding > 0 {
+		cl.ring = append(cl.ring, c)
+		if cl.inFlight < cl.cfg.Outstanding {
+			cl.inFlight++
+			cl.sendReq(c, st)
+		}
+		return
+	}
+	cl.sendReq(c, st)
+}
+
+// issueNext launches an RPC on the next idle connection in the ring.
+func (cl *client) issueNext() {
+	for tries := 0; tries < len(cl.ring); tries++ {
+		c := cl.ring[cl.cursor%len(cl.ring)]
+		cl.cursor++
+		st, _ := c.Cookie().(*clientConn)
+		if st == nil || st.busy {
+			continue
+		}
+		cl.sendReq(c, st)
+		return
+	}
+	cl.inFlight--
+}
+
+func (cl *client) sendReq(c app.Conn, st *clientConn) {
+	st.t0 = cl.env.Now()
+	st.got = 0
+	st.busy = true
+	cl.env.Charge(serverMsgCost)
+	c.Send(zeros(cl.cfg.MsgSize))
+}
+
+func (cl *client) OnRecv(c app.Conn, data []byte) {
+	st, _ := c.Cookie().(*clientConn)
+	if st == nil {
+		return
+	}
+	st.got += len(data)
+	cl.env.Charge(time.Duration(float64(len(data)) * perByteCost))
+	if st.got < cl.cfg.MsgSize {
+		return
+	}
+	m := cl.cfg.Metrics
+	m.Msgs.Inc()
+	m.Latency.Record(time.Duration(cl.env.Now() - st.t0))
+	st.busy = false
+	if cl.cfg.Outstanding > 0 {
+		// Rotation mode: move the in-flight slot to the next conn.
+		if m.Running {
+			cl.issueNext()
+		} else {
+			cl.inFlight--
+		}
+		return
+	}
+	st.rounds++
+	if st.rounds < cl.cfg.Rounds || cl.cfg.Rounds <= 0 {
+		cl.sendReq(c, st)
+		return
+	}
+	// Close with RST to avoid ephemeral-port exhaustion (§5.3).
+	m.Conns.Inc()
+	c.Abort()
+	if m.Running && !cl.cfg.NoReconnect {
+		cl.connect()
+	}
+}
+
+func (cl *client) OnSent(c app.Conn, n int) {}
+func (cl *client) OnEOF(c app.Conn)         { c.Close() }
+
+func (cl *client) OnClosed(c app.Conn) {
+	// RST-closed connections already accounted in OnRecv; unexpected
+	// deaths trigger a reconnect to sustain load.
+	st, _ := c.Cookie().(*clientConn)
+	if st != nil && st.rounds < cl.cfg.Rounds && cl.cfg.Metrics.Running && !cl.cfg.NoReconnect {
+		cl.cfg.Metrics.Failures.Inc()
+		cl.connect()
+	}
+}
+
+// zeros returns a read-only buffer of n zero bytes (shared; applications
+// treat transmitted buffers as immutable).
+func zeros(n int) []byte {
+	for cap(zeroBuf) < n {
+		zeroBuf = make([]byte, n)
+	}
+	return zeroBuf[:n]
+}
+
+var zeroBuf = make([]byte, 64<<10)

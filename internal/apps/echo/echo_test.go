@@ -1,0 +1,26 @@
+package echo
+
+import "testing"
+
+func TestZerosReuse(t *testing.T) {
+	a := zeros(64)
+	b := zeros(128)
+	if len(a) != 64 || len(b) != 128 {
+		t.Fatal("zeros sizing broken")
+	}
+	for _, x := range b {
+		if x != 0 {
+			t.Fatal("zeros not zero")
+		}
+	}
+}
+
+func TestMetricsWindow(t *testing.T) {
+	m := NewMetrics()
+	m.Msgs.Add(10)
+	m.ResetWindow()
+	m.Msgs.Add(5)
+	if m.Msgs.Since() != 5 || m.Msgs.Total() != 15 {
+		t.Fatal("window accounting broken")
+	}
+}

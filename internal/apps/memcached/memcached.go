@@ -1,0 +1,324 @@
+// Package memcached is a port of the paper's §5.5 workload: an in-memory
+// key-value store speaking the memcached text protocol (get/set), built —
+// as the original is — on an event library (here the app interface that
+// libix and the baseline adapters implement). Like memcached 1.4.18 it
+// uses a hash table with LRU eviction and a *global cache lock* whose
+// contention on write-heavy workloads is what limits scaling ("the
+// improvement for ETC is lower due to the increased lock contention
+// within the application itself"; IX sees no gain beyond 6 cores).
+package memcached
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"ix/internal/app"
+)
+
+// CPU cost constants for the application logic, calibrated against the
+// §5.5 CPU breakdown: at peak, Linux spends ~25% of 8 cores in user mode
+// at 550 kRPS (≈3.6 µs/req) and IX reaches 1.55 MRPS on 6 cores with
+// <10% kernel time (≈3.2 µs/req of app work).
+const (
+	parseCost   = 700 * time.Nanosecond  // request parse + dispatch
+	lookupCost  = 1100 * time.Nanosecond // hash + bucket walk + LRU touch
+	respondCost = 700 * time.Nanosecond  // response header assembly
+	storeCost   = 900 * time.Nanosecond  // item allocation + link (sets)
+	perByteCost = 0.45                   // ns/byte of key+value handled
+	lockHoldGet = 120 * time.Nanosecond  // global lock hold for a GET
+	lockHoldSet = 550 * time.Nanosecond  // global lock hold for a SET
+	lockAcquire = 60 * time.Nanosecond   // uncontended acquire/release
+)
+
+// item is a stored object.
+type item struct {
+	key        string
+	value      []byte
+	prev, next *item // LRU list
+}
+
+// Store is the shared cache: one per server process, shared by all
+// threads exactly as in multithreaded memcached.
+type Store struct {
+	items map[string]*item
+	// LRU list head/tail (head = most recent).
+	head, tail *item
+	bytes      int
+	maxBytes   int
+
+	// Global cache lock contention model. Tasks on different cores
+	// call lock() with arbitrary virtual-time ordering, so instead of a
+	// reservation queue we track lock *utilization* over a sliding
+	// window and charge M/M/1-style queueing delay plus a cache-line
+	// coherence term that grows with the number of contending threads.
+	// This reproduces the write-frequency-dependent contention of §5.5
+	// ("the improvement for ETC is lower due to the increased lock
+	// contention ... higher write frequency").
+	winStart  int64
+	winDemand int64 // ns of lock hold requested in this window
+	lastUtil  float64
+	// Contenders is the number of server threads sharing the store.
+	Contenders int
+
+	// Stats.
+	Gets, Sets, Hits, Misses, Evictions uint64
+	LockSpin                            time.Duration
+}
+
+// NewStore builds a store bounded at maxBytes (default 64 MB).
+func NewStore(maxBytes int) *Store {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &Store{items: make(map[string]*item), maxBytes: maxBytes}
+}
+
+// lockWindow is the utilization-averaging window.
+const lockWindow = int64(200 * time.Microsecond)
+
+// lock models acquiring the global cache lock at virtual time now and
+// holding it for hold; it returns the total time the caller must charge
+// (acquire + queueing spin + hold + coherence transfer).
+func (st *Store) lock(now int64, hold time.Duration) time.Duration {
+	if now-st.winStart >= lockWindow {
+		if now > st.winStart {
+			st.lastUtil = float64(st.winDemand) / float64(now-st.winStart)
+		}
+		st.winStart = now
+		st.winDemand = 0
+	}
+	st.winDemand += int64(hold)
+	rho := st.lastUtil
+	if rho > 0.95 {
+		rho = 0.95
+	}
+	spin := time.Duration(float64(hold) * rho / (1 - rho))
+	// Cache-line ping-pong: the lock word and hot LRU head bounce
+	// between the contending cores.
+	if st.Contenders > 1 {
+		spin += time.Duration(st.Contenders-1) * 35 * time.Nanosecond
+	}
+	st.LockSpin += spin
+	return spin + hold + lockAcquire
+}
+
+// get returns the value for key, touching LRU.
+func (st *Store) get(key string) ([]byte, bool) {
+	st.Gets++
+	it, ok := st.items[key]
+	if !ok {
+		st.Misses++
+		return nil, false
+	}
+	st.Hits++
+	st.touch(it)
+	return it.value, true
+}
+
+// set inserts or replaces key.
+func (st *Store) set(key string, val []byte) {
+	st.Sets++
+	if it, ok := st.items[key]; ok {
+		st.bytes += len(val) - len(it.value)
+		it.value = val
+		st.touch(it)
+	} else {
+		it := &item{key: key, value: val}
+		st.items[key] = it
+		st.bytes += len(key) + len(val)
+		st.pushFront(it)
+	}
+	for st.bytes > st.maxBytes && st.tail != nil {
+		ev := st.tail
+		st.unlink(ev)
+		delete(st.items, ev.key)
+		st.bytes -= len(ev.key) + len(ev.value)
+		st.Evictions++
+	}
+}
+
+func (st *Store) touch(it *item) {
+	if st.head == it {
+		return
+	}
+	st.unlink(it)
+	st.pushFront(it)
+}
+
+func (st *Store) pushFront(it *item) {
+	it.prev = nil
+	it.next = st.head
+	if st.head != nil {
+		st.head.prev = it
+	}
+	st.head = it
+	if st.tail == nil {
+		st.tail = it
+	}
+}
+
+func (st *Store) unlink(it *item) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else if st.head == it {
+		st.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else if st.tail == it {
+		st.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+}
+
+// Len returns the number of stored items.
+func (st *Store) Len() int { return len(st.items) }
+
+// Bytes returns stored bytes.
+func (st *Store) Bytes() int { return st.bytes }
+
+// ServerFactory returns the memcached server application sharing store,
+// listening on port on every thread.
+func ServerFactory(store *Store, port uint16) app.Factory {
+	return func(env app.Env, thread, threads int) app.Handler {
+		if threads > store.Contenders {
+			store.Contenders = threads
+		}
+		s := &server{env: env, store: store}
+		if err := env.Listen(port); err != nil {
+			panic(err)
+		}
+		return s
+	}
+}
+
+type server struct {
+	env   app.Env
+	store *Store
+}
+
+// connState buffers a partially received request stream.
+type connState struct {
+	buf []byte
+}
+
+func (s *server) OnAccept(c app.Conn) { c.SetCookie(&connState{}) }
+
+func (s *server) OnConnected(c app.Conn, ok bool) {}
+
+func (s *server) OnRecv(c app.Conn, data []byte) {
+	st, _ := c.Cookie().(*connState)
+	if st == nil {
+		st = &connState{}
+		c.SetCookie(st)
+	}
+	st.buf = append(st.buf, data...)
+	for {
+		n := s.process(c, st.buf)
+		if n == 0 {
+			break
+		}
+		st.buf = st.buf[n:]
+	}
+	if len(st.buf) == 0 {
+		st.buf = nil
+	}
+}
+
+// process parses one complete command from buf, executes it, and returns
+// the bytes consumed (0 if incomplete).
+func (s *server) process(c app.Conn, buf []byte) int {
+	nl := indexCRLF(buf)
+	if nl < 0 {
+		return 0
+	}
+	line := string(buf[:nl])
+	consumed := nl + 2
+	s.env.Charge(parseCost + time.Duration(float64(nl)*perByteCost))
+	switch {
+	case len(line) > 4 && line[:4] == "get ":
+		key := line[4:]
+		spin := s.store.lock(s.env.Now()+int64(s.env.Elapsed()), lockHoldGet)
+		s.env.Charge(spin + lookupCost)
+		val, ok := s.store.get(key)
+		s.env.Charge(respondCost)
+		if ok {
+			s.env.Charge(time.Duration(float64(len(val)) * perByteCost))
+			resp := fmt.Sprintf("VALUE %s 0 %d\r\n", key, len(val))
+			c.Send([]byte(resp))
+			c.Send(val)
+			c.Send(crlfEnd)
+		} else {
+			c.Send(endOnly)
+		}
+		return consumed
+	case len(line) > 4 && line[:4] == "set ":
+		// set <key> <flags> <exptime> <bytes>
+		var key string
+		var flags, exp, nbytes int
+		if _, err := fmt.Sscanf(line[4:], "%s %d %d %d", &key, &flags, &exp, &nbytes); err != nil {
+			c.Send([]byte("CLIENT_ERROR bad command line\r\n"))
+			return consumed
+		}
+		total := consumed + nbytes + 2
+		if len(buf) < total {
+			return 0 // wait for the body
+		}
+		body := append([]byte(nil), buf[consumed:consumed+nbytes]...)
+		spin := s.store.lock(s.env.Now()+int64(s.env.Elapsed()), lockHoldSet)
+		s.env.Charge(spin + storeCost + time.Duration(float64(nbytes)*perByteCost))
+		s.store.set(key, body)
+		s.env.Charge(respondCost)
+		c.Send(stored)
+		return total
+	case line == "quit":
+		c.Close()
+		return consumed
+	default:
+		c.Send([]byte("ERROR\r\n"))
+		return consumed
+	}
+}
+
+func (s *server) OnSent(c app.Conn, n int) {}
+func (s *server) OnEOF(c app.Conn)         { c.Close() }
+func (s *server) OnClosed(c app.Conn)      {}
+
+var (
+	crlfEnd = []byte("\r\nEND\r\n")
+	endOnly = []byte("END\r\n")
+	stored  = []byte("STORED\r\n")
+)
+
+func indexCRLF(b []byte) int {
+	for i := 0; i+1 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+// FormatGet renders a get request (client side).
+func FormatGet(key string) []byte {
+	return []byte("get " + key + "\r\n")
+}
+
+// FormatSet renders a set request (client side).
+func FormatSet(key string, val []byte) []byte {
+	b := make([]byte, 0, len(key)+len(val)+32)
+	b = append(b, "set "...)
+	b = append(b, key...)
+	b = append(b, " 0 0 "...)
+	b = strconv.AppendInt(b, int64(len(val)), 10)
+	b = append(b, "\r\n"...)
+	b = append(b, val...)
+	b = append(b, "\r\n"...)
+	return b
+}
+
+// SetDirect installs a key without lock or CPU modelling — used by the
+// harness to preload the keyspace before measurement, like mutilate's
+// --loadonly pass.
+func (st *Store) SetDirect(key string, val []byte) { st.set(key, val) }

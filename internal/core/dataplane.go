@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ix/internal/cost"
+	"ix/internal/dune"
+	"ix/internal/mem"
+	"ix/internal/netstack"
+	"ix/internal/nicsim"
+	"ix/internal/sim"
+	"ix/internal/wire"
+)
+
+// Config describes one IX dataplane instance (one application).
+type Config struct {
+	Name string
+	IP   wire.IPv4
+	MAC  wire.MAC
+
+	// Threads is the number of elastic threads at start.
+	Threads int
+	// MaxThreads provisions NIC queue pairs (hardware bound); defaults
+	// to Threads. The control plane may grow up to this many.
+	MaxThreads int
+	// BatchBound is the adaptive batching upper bound B (§5.1 uses 64).
+	BatchBound int
+	// Cost is the dataplane cost model.
+	Cost cost.IX
+	// MemPages is the large-page grant from the control plane
+	// (default 512 pages = 1 GB).
+	MemPages int
+	// RcvWnd, MinRTO tune the TCP engine.
+	RcvWnd int
+	MinRTO time.Duration
+	// Seed makes the instance deterministic.
+	Seed uint64
+	// User constructs the ring-3 program for each elastic thread
+	// (libix.Program does this for applications).
+	User func(api *UserAPI, thread, threads int) UserProgram
+	// NICRing overrides the descriptor ring size.
+	NICRing int
+	// ITR is the NIC interrupt moderation (only relevant for the
+	// interrupt fallback; IX polls).
+	ITR time.Duration
+	// OnNonResponsive is notified when the §4.5 user-mode timeout
+	// interrupt marks a thread non-responsive.
+	OnNonResponsive func(thread int)
+}
+
+// DefaultBatchBound is the paper's B=64 (§5.1).
+const DefaultBatchBound = 64
+
+// Dataplane is one IX instance: an application-specific OS running on
+// dedicated hardware threads with pass-through NIC access.
+type Dataplane struct {
+	eng     *sim.Engine
+	cfg     Config
+	nic     *nicsim.NIC
+	arp     *netstack.ARPTable
+	region  *mem.Region
+	threads []*ElasticThread
+
+	// Domain is the dataplane's protection domain (VMX non-root ring 0).
+	Domain dune.Domain
+
+	// missCache avoids recomputing the DDIO penalty every cycle.
+	missConns    int
+	missPenalty_ time.Duration
+}
+
+// New creates a dataplane. Attach NIC ports (links) before Start.
+func New(eng *sim.Engine, cfg Config) *Dataplane {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.MaxThreads < cfg.Threads {
+		cfg.MaxThreads = cfg.Threads
+	}
+	if cfg.BatchBound <= 0 {
+		cfg.BatchBound = DefaultBatchBound
+	}
+	if cfg.MemPages <= 0 {
+		cfg.MemPages = 512
+	}
+	if cfg.Cost == (cost.IX{}) {
+		cfg.Cost = cost.DefaultIX()
+	}
+	if cfg.User == nil {
+		panic("core: Config.User is required")
+	}
+	d := &Dataplane{
+		eng:    eng,
+		cfg:    cfg,
+		arp:    netstack.NewARPTable(),
+		region: mem.NewRegion(cfg.MemPages),
+		Domain: dune.Domain{Name: cfg.Name, Ring: dune.Ring0NonRoot},
+	}
+	d.nic = nicsim.New(eng, cfg.MAC, nicsim.Config{
+		Queues:   cfg.MaxThreads,
+		RingSize: cfg.NICRing,
+		ITR:      cfg.ITR,
+	})
+	return d
+}
+
+// NIC returns the dataplane's pass-through NIC (for fabric attachment).
+func (d *Dataplane) NIC() *nicsim.NIC { return d.nic }
+
+// ARP returns the host's shared ARP table (preloaded by the harness, as
+// a warmed-up testbed would be).
+func (d *Dataplane) ARP() *netstack.ARPTable { return d.arp }
+
+// IP returns the dataplane's address.
+func (d *Dataplane) IP() wire.IPv4 { return d.cfg.IP }
+
+// MAC returns the dataplane's hardware address.
+func (d *Dataplane) MAC() wire.MAC { return d.cfg.MAC }
+
+// Engine returns the simulation engine.
+func (d *Dataplane) Engine() *sim.Engine { return d.eng }
+
+// BatchBound returns the configured adaptive batch bound B.
+func (d *Dataplane) BatchBound() int { return d.cfg.BatchBound }
+
+// Start spawns the elastic threads and their user programs.
+func (d *Dataplane) Start() {
+	for i := 0; i < d.cfg.Threads; i++ {
+		d.spawnThread(i)
+	}
+	d.nic.SpreadRETA(len(d.threads))
+}
+
+func (d *Dataplane) spawnThread(id int) {
+	et := newElasticThread(d, id)
+	d.threads = append(d.threads, et)
+	et.user = d.cfg.User(et.api, id, d.cfg.Threads)
+	// Kick once so programs that queued work at construction run.
+	et.wake()
+}
+
+// Threads returns the active elastic thread count.
+func (d *Dataplane) Threads() int { return len(d.threads) }
+
+// Thread returns elastic thread i.
+func (d *Dataplane) Thread(i int) *ElasticThread { return d.threads[i] }
+
+// ConnCount sums live connections across elastic threads.
+func (d *Dataplane) ConnCount() int {
+	n := 0
+	for _, et := range d.threads {
+		n += et.ns.TCP().ConnCount()
+	}
+	return n
+}
+
+// missPenalty returns the per-packet LLC-miss stall given the current
+// connection working set (Fig. 4's DDIO model), cached until the
+// connection count moves by >1%.
+func (d *Dataplane) missPenalty() time.Duration {
+	conns := d.ConnCount()
+	if d.missPenalty_ != 0 && conns > 0 {
+		lo := d.missConns - d.missConns/64
+		hi := d.missConns + d.missConns/64
+		if conns >= lo && conns <= hi {
+			return d.missPenalty_
+		}
+	}
+	d.missConns = conns
+	d.missPenalty_ = time.Duration(cost.MissesPerMsg(conns) * float64(d.cfg.Cost.L3Miss))
+	return d.missPenalty_
+}
+
+func (d *Dataplane) notifyNonResponsive(et *ElasticThread) {
+	if d.cfg.OnNonResponsive != nil {
+		d.cfg.OnNonResponsive(et.id)
+	}
+}
+
+// AddElasticThread grows the dataplane by one elastic thread (control
+// plane grant), reprogramming RSS and migrating flows so each flow group
+// is served by the thread its hash now selects. Returns an error at the
+// hardware queue limit.
+func (d *Dataplane) AddElasticThread() error {
+	if len(d.threads) >= d.cfg.MaxThreads {
+		return fmt.Errorf("core: no NIC queues left (%d)", d.cfg.MaxThreads)
+	}
+	id := len(d.threads)
+	d.spawnThread(id)
+	d.nic.SpreadRETA(len(d.threads))
+	d.rebalance()
+	return nil
+}
+
+// RemoveElasticThread revokes the highest elastic thread (control plane
+// revocation), migrating its flows to the threads RSS now selects.
+func (d *Dataplane) RemoveElasticThread() error {
+	if len(d.threads) <= 1 {
+		return fmt.Errorf("core: cannot remove the last elastic thread")
+	}
+	victim := d.threads[len(d.threads)-1]
+	d.threads = d.threads[:len(d.threads)-1]
+	d.nic.SpreadRETA(len(d.threads))
+	// Drain frames parked in the victim's RX ring back through RSS
+	// classification (they re-land on surviving queues).
+	for _, f := range victim.rxq.Take(victim.rxq.Len()) {
+		d.nic.Deliver(f)
+	}
+	d.rebalance()
+	// Migrate the victim's remaining flows explicitly.
+	d.migrateFrom(victim)
+	victim.stopped = true
+	if victim.idleWake != nil {
+		d.eng.Cancel(victim.idleWake)
+		victim.idleWake = nil
+	}
+	return nil
+}
+
+// rebalance re-homes every flow to the elastic thread its RSS bucket now
+// maps to. Resource reallocation is rare and coarse-grained (§4.4), so
+// the synchronization this implies is acceptable.
+func (d *Dataplane) rebalance() {
+	for _, et := range d.threads {
+		d.migrateFrom(et)
+	}
+}
+
+func (d *Dataplane) migrateFrom(src *ElasticThread) {
+	// Quiesce the source thread's user batches first: pending syscalls
+	// must execute against their original handles, and their return
+	// codes must reach the user library, before handles move (the
+	// quiescence the paper gets from run-to-completion boundaries).
+	src.drainUser()
+	for _, c := range src.ns.TCP().Conns() {
+		want := d.nic.RSSQueue(c.Key().Reverse())
+		if want == src.id && !src.stopped && src.id < len(d.threads) {
+			continue
+		}
+		if want >= len(d.threads) {
+			want = 0
+		}
+		dst := d.threads[want]
+		if dst == src {
+			continue
+		}
+		src.ns.TCP().Migrate(c, dst.ns.TCP())
+		// Re-grant the handle in the destination namespace; the old
+		// handle dies with the source thread's namespace.
+		src.gate.Revoke(c.Handle)
+		c.Handle = dst.gate.Grant(c)
+		// Tell the destination's user program to adopt the flow.
+		dst.events = append(dst.events, Event{Type: EvMigrated, Handle: c.Handle, Cookie: c.Cookie})
+		dst.wake()
+	}
+}
+
+// ResetStats zeroes measurement counters on all threads (start of a
+// measurement window).
+func (d *Dataplane) ResetStats() {
+	for _, et := range d.threads {
+		et.Cycles = 0
+		et.RxPackets = 0
+		et.TxPackets = 0
+		et.PoolDrops = 0
+		et.KernelNs = 0
+		et.UserNs = 0
+		et.BatchHist.Reset()
+		et.core.ResetStats()
+	}
+}
+
+// CPUBreakdown reports aggregate kernel and user busy time across
+// elastic threads since ResetStats (the §5.5 kernel-time measurement).
+func (d *Dataplane) CPUBreakdown() (kernel, user time.Duration) {
+	for _, et := range d.threads {
+		kernel += time.Duration(et.KernelNs)
+		user += time.Duration(et.UserNs)
+	}
+	return kernel, user
+}
+
+// MeanBatch returns the average adaptive batch size over the window.
+func (d *Dataplane) MeanBatch() float64 {
+	var sum float64
+	var n uint64
+	for _, et := range d.threads {
+		sum += float64(et.BatchHist.Mean()) * float64(et.BatchHist.Count())
+		n += et.BatchHist.Count()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RxDrops reports NIC-edge drops (ring overflow) — where all queueing
+// happens in IX (§3).
+func (d *Dataplane) RxDrops() uint64 { return d.nic.RxDrops }
+
+// MaxThreads returns the hardware queue-pair budget.
+func (d *Dataplane) MaxThreads() int { return d.cfg.MaxThreads }

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"time"
+
+	"ix/internal/fabric"
+	"ix/internal/sim"
+)
+
+// newLink returns a short 10GbE link for loopback-style tests.
+func newLink(eng *sim.Engine) *fabric.Link {
+	return fabric.NewLink(eng, 10*fabric.Gbps, 500*time.Nanosecond)
+}

@@ -1,0 +1,55 @@
+package cost
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMissesPerMsgAnchors(t *testing.T) {
+	// The paper's two measured anchors (§5.4): ~1.4 misses/msg up to
+	// 10k connections (DDIO keeps state in L3), ~25 at 250k.
+	if m := MissesPerMsg(100); m != 1.4 {
+		t.Fatalf("misses(100) = %v, want 1.4", m)
+	}
+	if m := MissesPerMsg(10_000); m != 1.4 {
+		t.Fatalf("misses(10k) = %v, want 1.4", m)
+	}
+	if m := MissesPerMsg(250_000); m < 24 || m > 26 {
+		t.Fatalf("misses(250k) = %v, want ~25", m)
+	}
+	// Monotone in between.
+	prev := 0.0
+	for _, c := range []int{1000, 20_000, 50_000, 100_000, 200_000, 250_000} {
+		m := MissesPerMsg(c)
+		if m < prev {
+			t.Fatalf("misses not monotone at %d: %v < %v", c, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestPerByte(t *testing.T) {
+	p := PerByte(0.5)
+	if p.Cost(1000) != 500*time.Nanosecond {
+		t.Fatalf("cost = %v", p.Cost(1000))
+	}
+	if p.Cost(0) != 0 || p.Cost(-5) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestDefaultsOrdering(t *testing.T) {
+	ix := DefaultIX()
+	lx := DefaultLinux()
+	mt := DefaultMTCP()
+	// The architectural cost ordering behind the paper's results.
+	if ix.ProtoRx >= mt.ProtoRx || mt.ProtoRx >= lx.SoftIRQPerPkt {
+		t.Fatal("per-packet cost ordering violated: IX < mTCP < Linux")
+	}
+	if ix.Syscall >= lx.SyscallEntry {
+		t.Fatal("batched syscalls must be cheaper than kernel crossings")
+	}
+	if mt.HandoffInterval < 10*time.Microsecond {
+		t.Fatal("mTCP handoff should dominate its latency")
+	}
+}

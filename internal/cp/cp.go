@@ -1,0 +1,157 @@
+// Package cp implements the IX control plane (§4.1): the IXCP policy
+// daemon that, together with the Linux kernel, owns coarse-grained
+// resource allocation — cores, large-page memory and NIC hardware queues
+// — across dataplanes. The paper implements the mechanisms and leaves
+// dynamic policies to future work (§6); this package provides both the
+// mechanism plumbing and a working elastic-thread policy: it watches NIC-
+// edge queue depths and core utilization and grows or shrinks a
+// dataplane's elastic thread set, driving the RSS re-balancing and flow
+// migration implemented in the dataplane.
+package cp
+
+import (
+	"fmt"
+	"time"
+
+	"ix/internal/core"
+	"ix/internal/dune"
+	"ix/internal/sim"
+)
+
+// Policy parameterizes the elastic scaling loop.
+type Policy struct {
+	// Interval between policy evaluations (coarse-grained, §4.4).
+	Interval time.Duration
+	// AddQueueDepth: grow when any RX ring holds at least this many
+	// frames at evaluation time (congestion building at the NIC edge).
+	AddQueueDepth int
+	// AddUtil: grow when average core utilization over the last
+	// interval reaches this fraction (saturation without ring growth —
+	// closed-loop clients adapt their rate to the server).
+	AddUtil float64
+	// RemoveUtil: shrink when average core utilization over the last
+	// interval falls below this fraction.
+	RemoveUtil float64
+	// MinThreads/MaxThreads bound the allocation.
+	MinThreads, MaxThreads int
+	// Cooldown intervals after a change before acting again.
+	Cooldown int
+}
+
+// DefaultPolicy returns a conservative elastic policy.
+func DefaultPolicy() Policy {
+	return Policy{
+		Interval:      500 * time.Microsecond,
+		AddQueueDepth: 96,
+		AddUtil:       0.9,
+		RemoveUtil:    0.25,
+		MinThreads:    1,
+		Cooldown:      4,
+	}
+}
+
+// Event records one control plane action, for inspection and tests.
+type Event struct {
+	At      sim.Time
+	Action  string
+	Threads int
+}
+
+// Controller is IXCP: one instance manages one dataplane.
+type Controller struct {
+	eng    *sim.Engine
+	dp     *core.Dataplane
+	policy Policy
+
+	// Domain is the control plane's protection domain (VMX root).
+	Domain dune.Domain
+
+	cooldown int
+	stopped  bool
+
+	// Log of actions taken.
+	Log []Event
+	// NonResponsive counts §4.5 timeout-interrupt reports.
+	NonResponsive int
+}
+
+// New builds a controller for dp.
+func New(eng *sim.Engine, dp *core.Dataplane, policy Policy) *Controller {
+	if policy.Interval <= 0 {
+		policy.Interval = DefaultPolicy().Interval
+	}
+	if policy.MaxThreads <= 0 {
+		policy.MaxThreads = dp.MaxThreads()
+	}
+	if policy.MinThreads <= 0 {
+		policy.MinThreads = 1
+	}
+	return &Controller{
+		eng:    eng,
+		dp:     dp,
+		policy: policy,
+		Domain: dune.Domain{Name: "ixcp", Ring: dune.RingVMXRoot0},
+	}
+}
+
+// ReportNonResponsive is the dataplane's §4.5 notification hook.
+func (c *Controller) ReportNonResponsive(thread int) {
+	c.NonResponsive++
+	c.Log = append(c.Log, Event{At: c.eng.Now(), Action: fmt.Sprintf("non-responsive thread %d", thread), Threads: c.dp.Threads()})
+}
+
+// Start begins the periodic policy loop.
+func (c *Controller) Start() {
+	c.resetWindow()
+	c.eng.After(c.policy.Interval, c.tick)
+}
+
+// Stop halts the loop.
+func (c *Controller) Stop() { c.stopped = true }
+
+func (c *Controller) resetWindow() {
+	for i := 0; i < c.dp.Threads(); i++ {
+		c.dp.Thread(i).ResetUtilWindow()
+	}
+}
+
+func (c *Controller) tick() {
+	if c.stopped {
+		return
+	}
+	defer c.eng.After(c.policy.Interval, c.tick)
+	if c.cooldown > 0 {
+		c.cooldown--
+		c.resetWindow()
+		return
+	}
+	maxDepth := 0
+	var utilSum float64
+	n := c.dp.Threads()
+	for i := 0; i < n; i++ {
+		et := c.dp.Thread(i)
+		if d := et.RxQueueLen(); d > maxDepth {
+			maxDepth = d
+		}
+		utilSum += et.CoreUtilization()
+	}
+	avgUtil := utilSum / float64(n)
+	grow := maxDepth >= c.policy.AddQueueDepth ||
+		(c.policy.AddUtil > 0 && avgUtil >= c.policy.AddUtil)
+	switch {
+	case grow && n < c.policy.MaxThreads:
+		if err := c.dp.AddElasticThread(); err == nil {
+			c.Log = append(c.Log, Event{At: c.eng.Now(), Action: "add", Threads: c.dp.Threads()})
+			c.cooldown = c.policy.Cooldown
+		}
+	case avgUtil < c.policy.RemoveUtil && n > c.policy.MinThreads:
+		if err := c.dp.RemoveElasticThread(); err == nil {
+			c.Log = append(c.Log, Event{At: c.eng.Now(), Action: "remove", Threads: c.dp.Threads()})
+			c.cooldown = c.policy.Cooldown
+		}
+	}
+	c.resetWindow()
+}
+
+// Threads reports the managed dataplane's current elastic thread count.
+func (c *Controller) Threads() int { return c.dp.Threads() }

@@ -1,0 +1,90 @@
+package cp
+
+import (
+	"testing"
+	"time"
+
+	"ix/internal/apps/echo"
+	"ix/internal/harness"
+)
+
+// TestElasticScaleUpAndDown: IXCP grows the dataplane under load and
+// shrinks it when load stops, with flows migrating and traffic flowing
+// throughout.
+func TestElasticScaleUpAndDown(t *testing.T) {
+	cl := harness.NewCluster(13)
+	m := echo.NewMetrics()
+	cl.AddHost("server", harness.HostSpec{
+		Arch: harness.ArchIX, Cores: 1, MaxThreads: 4,
+		Factory: echo.ServerFactory(9000, 64),
+	})
+	srv := cl.IXServer(0)
+	for i := 0; i < 4; i++ {
+		cl.AddHost("client", harness.HostSpec{
+			Arch: harness.ArchLinux, Cores: 4,
+			Factory: echo.ClientFactory(echo.ClientConfig{
+				ServerIP: srv.IP(), Port: 9000, MsgSize: 64, Rounds: 64, Conns: 8, Metrics: m,
+			}),
+		})
+	}
+	cl.Start()
+	ctl := New(cl.Eng, srv, DefaultPolicy())
+	ctl.Start()
+	cl.Run(20 * time.Millisecond)
+	if srv.Threads() < 2 {
+		t.Fatalf("did not scale up under load: threads=%d", srv.Threads())
+	}
+	peak := srv.Threads()
+	before := m.Msgs.Total()
+	cl.Run(10 * time.Millisecond)
+	if m.Msgs.Total() == before {
+		t.Fatal("traffic stalled after scaling")
+	}
+	// Stop load: controller should shrink.
+	m.Running = false
+	cl.Run(40 * time.Millisecond)
+	if srv.Threads() >= peak {
+		t.Fatalf("did not scale down when idle: threads=%d (peak %d)", srv.Threads(), peak)
+	}
+	if len(ctl.Log) < 2 {
+		t.Fatalf("controller log too short: %v", ctl.Log)
+	}
+	// Handles must have been re-granted consistently during migration:
+	// no gate violations on the surviving threads.
+	for i := 0; i < srv.Threads(); i++ {
+		if v := srv.Thread(i).Gate().TotalViolations(); v != 0 {
+			t.Fatalf("thread %d has %d violations after migrations", i, v)
+		}
+	}
+}
+
+// TestPolicyBounds: the controller respects Min/MaxThreads.
+func TestPolicyBounds(t *testing.T) {
+	cl := harness.NewCluster(17)
+	m := echo.NewMetrics()
+	cl.AddHost("server", harness.HostSpec{
+		Arch: harness.ArchIX, Cores: 2, MaxThreads: 2,
+		Factory: echo.ServerFactory(9000, 64),
+	})
+	srv := cl.IXServer(0)
+	cl.AddHost("client", harness.HostSpec{
+		Arch: harness.ArchLinux, Cores: 2,
+		Factory: echo.ClientFactory(echo.ClientConfig{
+			ServerIP: srv.IP(), Port: 9000, MsgSize: 64, Rounds: 64, Conns: 16, Metrics: m,
+		}),
+	})
+	cl.Start()
+	p := DefaultPolicy()
+	p.MinThreads = 2
+	ctl := New(cl.Eng, srv, p)
+	ctl.Start()
+	cl.Run(15 * time.Millisecond)
+	if srv.Threads() != 2 {
+		t.Fatalf("threads=%d, max is 2", srv.Threads())
+	}
+	m.Running = false
+	cl.Run(30 * time.Millisecond)
+	if srv.Threads() < 2 {
+		t.Fatalf("went below MinThreads: %d", srv.Threads())
+	}
+}

@@ -1,0 +1,236 @@
+// Package fabric models the experiment network: full-duplex Ethernet links
+// with bandwidth serialization and propagation delay, and a cut-through
+// switch (the paper's Quanta/Cumulus 48x10GbE with a Broadcom Trident+
+// ASIC) including LACP-style bond groups that hash on L3+L4, which is how
+// the 4x10GbE server configuration is built (§5.1).
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"ix/internal/sim"
+	"ix/internal/wire"
+)
+
+// Gbps expresses link bandwidth.
+const Gbps = 1e9
+
+// Common datacenter timing constants (§2.2 of the paper).
+const (
+	// SwitchLatency is a cut-through crossing (a few hundred ns).
+	SwitchLatency = 300 * time.Nanosecond
+	// PropDelay covers ~100 m of fiber within the datacenter plus PHY.
+	PropDelay = 500 * time.Nanosecond
+	// NICLatency is the one-way latency through a 10 GbE NIC (the paper
+	// quotes 3 µs across a *pair* of NICs, so 1.5 µs each).
+	NICLatency = 1500 * time.Nanosecond
+)
+
+// A Frame is a packet in flight with its arrival timestamp metadata.
+type Frame struct {
+	Data []byte
+	// SentAt is when the sender posted the frame (for diagnostics).
+	SentAt sim.Time
+}
+
+// An Endpoint consumes frames delivered by a link.
+type Endpoint interface {
+	// Deliver is invoked at the frame's arrival time.
+	Deliver(f *Frame)
+}
+
+// A Port is one side of a link: frames are transmitted by calling Send and
+// received through the attached Endpoint.
+type Port struct {
+	link *Link
+	side int
+	ep   Endpoint
+
+	busyUntil sim.Time // transmit serialization
+
+	// TxFrames/TxBytes count transmitted traffic.
+	TxFrames, TxBytes uint64
+}
+
+// Attach sets the endpoint that receives frames arriving at this port.
+func (p *Port) Attach(ep Endpoint) { p.ep = ep }
+
+// Peer returns the port at the other end of the link.
+func (p *Port) Peer() *Port { return &p.link.ports[1-p.side] }
+
+// Send transmits data out of the port. Serialization at the link rate and
+// propagation delay determine the arrival time at the peer endpoint. The
+// data is not copied; callers hand over ownership (the simulated DMA
+// engine has already copied out of mbufs at the NIC).
+func (p *Port) Send(data []byte) {
+	l := p.link
+	now := l.eng.Now()
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	ser := l.serialize(len(data))
+	depart := start.Add(ser)
+	p.busyUntil = depart
+	p.TxFrames++
+	p.TxBytes += uint64(len(data))
+	arrive := depart.Add(l.latency)
+	peer := p.Peer()
+	f := &Frame{Data: data, SentAt: now}
+	l.eng.At(arrive, func() {
+		if peer.ep != nil {
+			peer.ep.Deliver(f)
+		}
+	})
+}
+
+// Busy returns the time until which the port's transmit side is
+// serializing already-queued frames.
+func (p *Port) Busy() sim.Time { return p.busyUntil }
+
+// A Link is a full-duplex point-to-point cable.
+type Link struct {
+	eng     *sim.Engine
+	bps     float64
+	latency time.Duration
+	ports   [2]Port
+}
+
+// NewLink creates a link with the given bandwidth (bits/s) and one-way
+// propagation latency.
+func NewLink(eng *sim.Engine, bps float64, latency time.Duration) *Link {
+	l := &Link{eng: eng, bps: bps, latency: latency}
+	l.ports[0] = Port{link: l, side: 0}
+	l.ports[1] = Port{link: l, side: 1}
+	return l
+}
+
+// Port returns side i (0 or 1) of the link.
+func (l *Link) Port(i int) *Port { return &l.ports[i] }
+
+// serialize returns the wire time of a frame of n L2 bytes, including
+// Ethernet preamble/FCS/IFG overhead and minimum-frame padding.
+func (l *Link) serialize(n int) time.Duration {
+	bits := float64(wire.WireLen(n) * 8)
+	return time.Duration(bits / l.bps * 1e9)
+}
+
+// A Switch is a store-of-nothing cut-through L2 switch with static MAC
+// learning and bond groups. Ports are link endpoints.
+type Switch struct {
+	eng     *sim.Engine
+	latency time.Duration
+	ports   []*switchPort
+	fdb     map[wire.MAC]int // MAC -> port index
+	bonds   map[wire.MAC][]int
+
+	// Forwarded counts frames switched.
+	Forwarded uint64
+	// Flooded counts frames with unknown destination (dropped: the
+	// benchmark topologies never rely on flooding).
+	Flooded uint64
+}
+
+type switchPort struct {
+	sw   *Switch
+	idx  int
+	port *Port
+}
+
+// Deliver implements Endpoint: a frame arriving on a switch port is
+// forwarded after the cut-through latency.
+func (sp *switchPort) Deliver(f *Frame) {
+	sp.sw.forward(sp.idx, f)
+}
+
+// NewSwitch creates a switch.
+func NewSwitch(eng *sim.Engine) *Switch {
+	return &Switch{eng: eng, latency: SwitchLatency, fdb: make(map[wire.MAC]int), bonds: make(map[wire.MAC][]int)}
+}
+
+// AddPort connects one side of a link to the switch and returns the port
+// index.
+func (s *Switch) AddPort(p *Port) int {
+	idx := len(s.ports)
+	sp := &switchPort{sw: s, idx: idx, port: p}
+	p.Attach(sp)
+	s.ports = append(s.ports, sp)
+	return idx
+}
+
+// Learn installs a static FDB entry: frames for mac leave through port
+// index idx.
+func (s *Switch) Learn(mac wire.MAC, idx int) {
+	if idx < 0 || idx >= len(s.ports) {
+		panic(fmt.Sprintf("fabric: bad port index %d", idx))
+	}
+	s.fdb[mac] = idx
+}
+
+// Bond declares that frames for mac are distributed across the given port
+// indices by an L3+L4 hash (the switch-side half of the paper's 4x10GbE
+// configuration).
+func (s *Switch) Bond(mac wire.MAC, idxs []int) {
+	s.bonds[mac] = append([]int(nil), idxs...)
+}
+
+func (s *Switch) forward(in int, f *Frame) {
+	var eth wire.EthHeader
+	if err := eth.Unmarshal(f.Data); err != nil {
+		return
+	}
+	out := -1
+	if members, ok := s.bonds[eth.Dst]; ok && len(members) > 0 {
+		out = members[int(l3l4Hash(f.Data))%len(members)]
+	} else if idx, ok := s.fdb[eth.Dst]; ok {
+		out = idx
+	} else if eth.Dst == wire.Broadcast {
+		// Broadcast (ARP): replicate to all ports except ingress.
+		s.eng.After(s.latency, func() {
+			for i, sp := range s.ports {
+				if i != in {
+					sp.port.Send(f.Data)
+				}
+			}
+		})
+		s.Forwarded++
+		return
+	}
+	if out < 0 || out == in {
+		s.Flooded++
+		return
+	}
+	s.Forwarded++
+	sp := s.ports[out]
+	s.eng.After(s.latency, func() { sp.port.Send(f.Data) })
+}
+
+// l3l4Hash is the bond-member selection hash: a cheap fold over the IPv4
+// addresses and transport ports, matching "bonded by the switch with an
+// L3+L4 hash" (§5.1).
+func l3l4Hash(frame []byte) uint32 {
+	if len(frame) < wire.EthHdrLen+wire.IPv4HdrLen {
+		return 0
+	}
+	var eth wire.EthHeader
+	_ = eth.Unmarshal(frame)
+	if eth.EtherType != wire.EtherTypeIPv4 {
+		return 0
+	}
+	ip := frame[wire.EthHdrLen:]
+	var h uint32
+	for _, b := range ip[12:20] { // src+dst IP
+		h = h*31 + uint32(b)
+	}
+	proto := ip[9]
+	if proto == wire.ProtoTCP || proto == wire.ProtoUDP {
+		ihl := int(ip[0]&0xf) * 4
+		if len(ip) >= ihl+4 {
+			for _, b := range ip[ihl : ihl+4] { // ports
+				h = h*31 + uint32(b)
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,169 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"ix/internal/sim"
+	"ix/internal/wire"
+)
+
+type sink struct {
+	frames []*Frame
+	times  []sim.Time
+	eng    *sim.Engine
+}
+
+func (s *sink) Deliver(f *Frame) {
+	s.frames = append(s.frames, f)
+	s.times = append(s.times, s.eng.Now())
+}
+
+func TestLinkSerializationAndLatency(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, 10*Gbps, 2*time.Microsecond)
+	rx := &sink{eng: eng}
+	l.Port(1).Attach(rx)
+	// A 1000-byte frame: wire length 1024B → 819.2ns at 10Gbps.
+	l.Port(0).Send(make([]byte, 1000))
+	eng.Run()
+	if len(rx.frames) != 1 {
+		t.Fatal("frame not delivered")
+	}
+	got := time.Duration(rx.times[0])
+	want := time.Duration(float64(wire.WireLen(1000)*8)/(10*Gbps)*1e9) + 2*time.Microsecond
+	if got < want-time.Nanosecond || got > want+time.Nanosecond {
+		t.Fatalf("arrival = %v, want %v", got, want)
+	}
+}
+
+func TestLinkBackToBackOrdering(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, 10*Gbps, time.Microsecond)
+	rx := &sink{eng: eng}
+	l.Port(1).Attach(rx)
+	for i := 0; i < 5; i++ {
+		l.Port(0).Send(make([]byte, 1500))
+	}
+	eng.Run()
+	if len(rx.frames) != 5 {
+		t.Fatalf("delivered %d frames", len(rx.frames))
+	}
+	for i := 1; i < 5; i++ {
+		gap := rx.times[i] - rx.times[i-1]
+		// Gaps equal full serialization time: frames queue behind each
+		// other on the transmit side.
+		want := time.Duration(float64(wire.WireLen(1500)*8) / (10 * Gbps) * 1e9)
+		if time.Duration(gap) < want-time.Nanosecond {
+			t.Fatalf("frames overlapped on the wire: gap %v < %v", time.Duration(gap), want)
+		}
+	}
+}
+
+func frameTo(dst, src wire.MAC) []byte {
+	f := make([]byte, wire.EthMinFrame)
+	(&wire.EthHeader{Dst: dst, Src: src, EtherType: 0x0800}).Marshal(f)
+	return f
+}
+
+func TestSwitchForwarding(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng)
+	macA := wire.MAC{2, 0, 0, 0, 0, 1}
+	macB := wire.MAC{2, 0, 0, 0, 0, 2}
+	la := NewLink(eng, 10*Gbps, time.Microsecond)
+	lb := NewLink(eng, 10*Gbps, time.Microsecond)
+	pa := sw.AddPort(la.Port(1))
+	pb := sw.AddPort(lb.Port(1))
+	sw.Learn(macA, pa)
+	sw.Learn(macB, pb)
+	rxB := &sink{eng: eng}
+	lb.Port(0).Attach(rxB)
+	la.Port(0).Send(frameTo(macB, macA))
+	eng.Run()
+	if len(rxB.frames) != 1 {
+		t.Fatal("frame not switched to B")
+	}
+	if sw.Forwarded != 1 {
+		t.Fatalf("forwarded = %d", sw.Forwarded)
+	}
+}
+
+func TestSwitchUnknownDstDropped(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng)
+	la := NewLink(eng, 10*Gbps, time.Microsecond)
+	sw.AddPort(la.Port(1))
+	la.Port(0).Send(frameTo(wire.MAC{9, 9, 9, 9, 9, 9}, wire.MAC{1, 1, 1, 1, 1, 1}))
+	eng.Run()
+	if sw.Flooded != 1 {
+		t.Fatalf("flooded = %d, want 1", sw.Flooded)
+	}
+}
+
+func TestSwitchBroadcast(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng)
+	var rxs []*sink
+	var links []*Link
+	for i := 0; i < 3; i++ {
+		l := NewLink(eng, 10*Gbps, time.Microsecond)
+		sw.AddPort(l.Port(1))
+		rx := &sink{eng: eng}
+		l.Port(0).Attach(rx)
+		rxs = append(rxs, rx)
+		links = append(links, l)
+	}
+	links[0].Port(0).Send(frameTo(wire.Broadcast, wire.MAC{1, 1, 1, 1, 1, 1}))
+	eng.Run()
+	if len(rxs[0].frames) != 0 {
+		t.Fatal("broadcast echoed to ingress")
+	}
+	if len(rxs[1].frames) != 1 || len(rxs[2].frames) != 1 {
+		t.Fatal("broadcast not replicated")
+	}
+}
+
+func TestBondSpreadsFlows(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng)
+	serverMAC := wire.MAC{2, 0, 0, 0, 0, 9}
+	in := NewLink(eng, 10*Gbps, time.Microsecond)
+	sw.AddPort(in.Port(1))
+	var members []int
+	var sinks []*sink
+	for i := 0; i < 4; i++ {
+		l := NewLink(eng, 10*Gbps, time.Microsecond)
+		members = append(members, sw.AddPort(l.Port(1)))
+		rx := &sink{eng: eng}
+		l.Port(0).Attach(rx)
+		sinks = append(sinks, rx)
+	}
+	sw.Bond(serverMAC, members)
+	// Many flows: build proper IPv4/TCP frames with distinct ports.
+	for port := 0; port < 64; port++ {
+		f := make([]byte, wire.EthHdrLen+wire.IPv4HdrLen+wire.TCPHdrLen)
+		(&wire.EthHeader{Dst: serverMAC, Src: wire.MAC{1}, EtherType: wire.EtherTypeIPv4}).Marshal(f)
+		iph := wire.IPv4Header{TotalLen: uint16(len(f) - wire.EthHdrLen), TTL: 64, Proto: wire.ProtoTCP,
+			Src: wire.Addr4(10, 0, 0, 1), Dst: wire.Addr4(10, 0, 0, 2)}
+		iph.Marshal(f[wire.EthHdrLen:])
+		th := wire.TCPHeader{SrcPort: uint16(30000 + port), DstPort: 80, WScale: -1}
+		th.Marshal(f[wire.EthHdrLen+wire.IPv4HdrLen:])
+		in.Port(0).Send(f)
+	}
+	eng.Run()
+	spread := 0
+	total := 0
+	for _, rx := range sinks {
+		if len(rx.frames) > 0 {
+			spread++
+		}
+		total += len(rx.frames)
+	}
+	if total != 64 {
+		t.Fatalf("delivered %d frames, want 64", total)
+	}
+	if spread < 3 {
+		t.Fatalf("bond used only %d of 4 members", spread)
+	}
+}

@@ -1,0 +1,241 @@
+// Package harness builds the paper's experimental setup (§5.1) — a
+// cluster of client machines and one server connected by a 48-port 10GbE
+// cut-through switch — and defines one function per table and figure of
+// the evaluation, each returning the data series the paper plots.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/core"
+	"ix/internal/cost"
+	"ix/internal/fabric"
+	"ix/internal/libix"
+	"ix/internal/linuxstack"
+	"ix/internal/mtcpstack"
+	"ix/internal/netstack"
+	"ix/internal/nicsim"
+	"ix/internal/sim"
+	"ix/internal/wire"
+)
+
+// Arch selects an OS architecture for a host.
+type Arch int
+
+// Architectures under comparison.
+const (
+	ArchIX Arch = iota
+	ArchLinux
+	ArchMTCP
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchIX:
+		return "IX"
+	case ArchLinux:
+		return "Linux"
+	case ArchMTCP:
+		return "mTCP"
+	}
+	return "?"
+}
+
+// Host abstracts over the three host models for cluster plumbing.
+type Host interface {
+	NIC() *nicsim.NIC
+	ARP() *netstack.ARPTable
+	IP() wire.IPv4
+	MAC() wire.MAC
+	Start()
+}
+
+// linux/mtcp hosts need a Start adapter (they already have Start).
+var (
+	_ Host = (*hostAdapter)(nil)
+)
+
+// hostAdapter wraps the concrete host types.
+type hostAdapter struct {
+	nic   *nicsim.NIC
+	arp   *netstack.ARPTable
+	ip    wire.IPv4
+	mac   wire.MAC
+	start func()
+}
+
+func (h *hostAdapter) NIC() *nicsim.NIC        { return h.nic }
+func (h *hostAdapter) ARP() *netstack.ARPTable { return h.arp }
+func (h *hostAdapter) IP() wire.IPv4           { return h.ip }
+func (h *hostAdapter) MAC() wire.MAC           { return h.mac }
+func (h *hostAdapter) Start()                  { h.start() }
+
+// HostSpec describes one machine.
+type HostSpec struct {
+	Arch    Arch
+	Cores   int
+	Factory app.Factory
+	// Ports is the number of 10GbE NIC ports (4 = the bonded 4x10GbE
+	// server configuration).
+	Ports int
+	// BatchBound is IX's B (ignored elsewhere).
+	BatchBound int
+	// MaxThreads provisions extra NIC queue pairs beyond Cores so the
+	// control plane can grow an IX dataplane (ignored elsewhere).
+	MaxThreads int
+	// IXCost optionally overrides the IX cost model (ablations).
+	IXCost *cost.IX
+	// RcvWnd optionally overrides the TCP receive window.
+	RcvWnd int
+}
+
+// Cluster is the experiment testbed.
+type Cluster struct {
+	Eng    *sim.Engine
+	Switch *fabric.Switch
+
+	hosts   []Host
+	ixs     []*core.Dataplane
+	linuxes []*linuxstack.Host
+	mtcps   []*mtcpstack.Host
+
+	nextIP  uint32
+	nextMAC uint64
+	seed    uint64
+}
+
+// LinkBandwidth is one 10GbE port.
+const LinkBandwidth = 10 * fabric.Gbps
+
+// linkLatency is NIC traversal plus propagation, one way.
+const linkLatency = fabric.NICLatency + fabric.PropDelay
+
+// NewCluster creates an empty testbed.
+func NewCluster(seed int64) *Cluster {
+	eng := sim.NewEngine(seed)
+	return &Cluster{
+		Eng:     eng,
+		Switch:  fabric.NewSwitch(eng),
+		nextIP:  uint32(wire.Addr4(10, 10, 0, 10)),
+		nextMAC: 0x02_00_00_00_00_10,
+		seed:    uint64(seed)*0x9e3779b97f4a7c15 + 1,
+	}
+}
+
+func (c *Cluster) nextAddrs() (wire.IPv4, wire.MAC) {
+	ip := wire.IPv4(c.nextIP)
+	c.nextIP++
+	var mac wire.MAC
+	v := c.nextMAC
+	c.nextMAC++
+	for i := 5; i >= 0; i-- {
+		mac[i] = byte(v)
+		v >>= 8
+	}
+	return ip, mac
+}
+
+// AddHost builds a machine per spec and cables it to the switch.
+func (c *Cluster) AddHost(name string, spec HostSpec) Host {
+	ip, mac := c.nextAddrs()
+	if spec.Ports <= 0 {
+		spec.Ports = 1
+	}
+	if spec.Cores <= 0 {
+		spec.Cores = 1
+	}
+	c.seed = c.seed*6364136223846793005 + 1442695040888963407
+	seed := c.seed
+	var h Host
+	switch spec.Arch {
+	case ArchIX:
+		ccfg := core.Config{
+			Name:       name,
+			IP:         ip,
+			MAC:        mac,
+			Threads:    spec.Cores,
+			MaxThreads: spec.MaxThreads,
+			BatchBound: spec.BatchBound,
+			Seed:       seed,
+			RcvWnd:     spec.RcvWnd,
+			User:       libix.Program(spec.Factory),
+		}
+		if spec.IXCost != nil {
+			ccfg.Cost = *spec.IXCost
+		}
+		dp := core.New(c.Eng, ccfg)
+		c.ixs = append(c.ixs, dp)
+		h = &hostAdapter{nic: dp.NIC(), arp: dp.ARP(), ip: ip, mac: mac, start: dp.Start}
+	case ArchLinux:
+		lh := linuxstack.New(c.Eng, linuxstack.Config{
+			Name:    name,
+			IP:      ip,
+			MAC:     mac,
+			Cores:   spec.Cores,
+			Factory: spec.Factory,
+			Seed:    seed,
+			RcvWnd:  spec.RcvWnd,
+		})
+		c.linuxes = append(c.linuxes, lh)
+		h = &hostAdapter{nic: lh.NIC(), arp: lh.ARP(), ip: ip, mac: mac, start: lh.Start}
+	case ArchMTCP:
+		mh := mtcpstack.New(c.Eng, mtcpstack.Config{
+			Name:    name,
+			IP:      ip,
+			MAC:     mac,
+			Cores:   spec.Cores,
+			Factory: spec.Factory,
+			Seed:    seed,
+			RcvWnd:  spec.RcvWnd,
+		})
+		c.mtcps = append(c.mtcps, mh)
+		h = &hostAdapter{nic: mh.NIC(), arp: mh.ARP(), ip: ip, mac: mac, start: mh.Start}
+	default:
+		panic(fmt.Sprintf("harness: unknown arch %d", spec.Arch))
+	}
+	// Cable the NIC's ports to the switch.
+	var portIdxs []int
+	for p := 0; p < spec.Ports; p++ {
+		link := fabric.NewLink(c.Eng, LinkBandwidth, linkLatency)
+		h.NIC().AttachPort(link.Port(0))
+		idx := c.Switch.AddPort(link.Port(1))
+		portIdxs = append(portIdxs, idx)
+	}
+	if spec.Ports == 1 {
+		c.Switch.Learn(mac, portIdxs[0])
+	} else {
+		c.Switch.Bond(mac, portIdxs)
+	}
+	c.hosts = append(c.hosts, h)
+	return h
+}
+
+// IXServer returns the i-th IX dataplane added.
+func (c *Cluster) IXServer(i int) *core.Dataplane { return c.ixs[i] }
+
+// LinuxHost returns the i-th Linux host added.
+func (c *Cluster) LinuxHost(i int) *linuxstack.Host { return c.linuxes[i] }
+
+// MTCPHost returns the i-th mTCP host added.
+func (c *Cluster) MTCPHost(i int) *mtcpstack.Host { return c.mtcps[i] }
+
+// Start preloads every host's ARP table with every other host (a warmed
+// testbed — the paper's experiments run after connectivity is
+// established) and starts all hosts.
+func (c *Cluster) Start() {
+	for _, a := range c.hosts {
+		for _, b := range c.hosts {
+			if a != b {
+				a.ARP().Learn(b.IP(), b.MAC())
+			}
+		}
+	}
+	for _, h := range c.hosts {
+		h.Start()
+	}
+}
+
+// Run advances the simulation by d.
+func (c *Cluster) Run(d time.Duration) { c.Eng.RunFor(d) }

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"ix/internal/apps/echo"
+)
+
+// TestDebugScaling bisects the client-scaling collapse.
+func TestDebugScaling(t *testing.T) {
+	for _, tc := range []struct{ hosts, cores int }{
+		{1, 1}, {1, 4}, {4, 1}, {4, 4}, {10, 6},
+	} {
+		cl := NewCluster(3)
+		m := echo.NewMetrics()
+		cl.AddHost("server", HostSpec{Arch: ArchIX, Cores: 8, Factory: echo.ServerFactory(7777, 64)})
+		srvIP := cl.hosts[0].IP()
+		for i := 0; i < tc.hosts; i++ {
+			cl.AddHost("client", HostSpec{Arch: ArchLinux, Cores: tc.cores, Factory: echo.ClientFactory(echo.ClientConfig{
+				ServerIP: srvIP, Port: 7777, MsgSize: 64, Rounds: 1024, Conns: 4, Metrics: m,
+			})})
+		}
+		cl.Start()
+		cl.Run(10 * time.Millisecond)
+		srv := cl.IXServer(0)
+		var segsIn, rexmit uint64
+		for i := 0; i < srv.Threads(); i++ {
+			segsIn += srv.Thread(i).Stack().TCP().SegsIn
+			rexmit += srv.Thread(i).Stack().TCP().Retransmits
+		}
+		t.Logf("hosts=%d cores=%d: msgs=%d (%.0fK/s) p50=%v p99=%v rexmit=%d nicdrops=%d",
+			tc.hosts, tc.cores, m.Msgs.Total(), float64(m.Msgs.Total())/0.01/1000,
+			m.Latency.Quantile(0.5), m.Latency.Quantile(0.99), rexmit, srv.RxDrops())
+	}
+}

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"ix/internal/apps/echo"
+)
+
+// TestDebugSingleConn is a diagnostic for RPC stalls: one connection,
+// closed loop, with protocol counters dumped.
+func TestDebugSingleConn(t *testing.T) {
+	cl := NewCluster(3)
+	m := echo.NewMetrics()
+	cl.AddHost("server", HostSpec{Arch: ArchIX, Cores: 1, Factory: echo.ServerFactory(7777, 64)})
+	srvIP := cl.hosts[0].IP()
+	cl.AddHost("client", HostSpec{Arch: ArchLinux, Cores: 1, Factory: echo.ClientFactory(echo.ClientConfig{
+		ServerIP: srvIP, Port: 7777, MsgSize: 64, Rounds: 1024, Conns: 4, Metrics: m,
+	})})
+	cl.Start()
+	cl.Run(10 * time.Millisecond)
+	st := cl.IXServer(0).Thread(0).Stack().TCP()
+	lt := cl.LinuxHost(0)
+	_ = lt
+	t.Logf("msgs=%d conns=%d p50=%v p99=%v max=%v", m.Msgs.Total(), m.Conns.Total(),
+		m.Latency.Quantile(0.5), m.Latency.Quantile(0.99), m.Latency.Max())
+	t.Logf("server tcp: in=%d out=%d rexmit=%d fast=%d", st.SegsIn, st.SegsOut, st.Retransmits, st.FastRetransmits)
+	et := cl.IXServer(0).Thread(0)
+	t.Logf("server thread: cycles=%d rx=%d tx=%d", et.Cycles, et.RxPackets, et.TxPackets)
+}

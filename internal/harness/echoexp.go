@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"time"
+
+	"ix/internal/apps/echo"
+	"ix/internal/cost"
+)
+
+// EchoSetup describes one echo experiment run.
+type EchoSetup struct {
+	ServerArch  Arch
+	ServerCores int
+	ServerPorts int // 1 = 10GbE, 4 = 4x10GbE
+	BatchBound  int
+
+	// IXCost optionally overrides the server cost model (ablations).
+	IXCost *cost.IX
+
+	ClientArch  Arch
+	ClientHosts int
+	ClientCores int
+	// ConnsPerThread is connections each client thread keeps open.
+	ConnsPerThread int
+	// Outstanding enables §5.4 rotation mode when non-zero.
+	Outstanding int
+	// Rounds is n round trips per connection before RST (0 = infinite).
+	Rounds  int
+	MsgSize int
+
+	Warmup, Window time.Duration
+	Seed           int64
+}
+
+// EchoResult is the measured steady-state behaviour.
+type EchoResult struct {
+	MsgsPerSec  float64
+	ConnsPerSec float64
+	// GoodputBps is application payload bits/s in one direction.
+	GoodputBps float64
+	RTTp50     time.Duration
+	RTTp99     time.Duration
+	RTTMean    time.Duration
+	// ServerKernelShare is kernel CPU time / total busy CPU time.
+	ServerKernelShare float64
+	MeanBatch         float64
+	Drops             uint64
+	// KernelPerMsg is server kernel time per delivered message (IX only).
+	KernelPerMsg time.Duration
+}
+
+// RunEcho builds a cluster per setup, warms it, measures a window, and
+// returns steady-state rates.
+func RunEcho(s EchoSetup) EchoResult {
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.ServerPorts == 0 {
+		s.ServerPorts = 1
+	}
+	cl := NewCluster(s.Seed)
+	m := echo.NewMetrics()
+	const port = 9000
+	cl.AddHost("server", HostSpec{
+		Arch:       s.ServerArch,
+		Cores:      s.ServerCores,
+		Ports:      s.ServerPorts,
+		BatchBound: s.BatchBound,
+		IXCost:     s.IXCost,
+		Factory:    echo.ServerFactory(port, s.MsgSize),
+	})
+	srvIP := cl.hosts[0].IP()
+	for i := 0; i < s.ClientHosts; i++ {
+		cl.AddHost("client", HostSpec{
+			Arch:  s.ClientArch,
+			Cores: s.ClientCores,
+			Factory: echo.ClientFactory(echo.ClientConfig{
+				ServerIP:    srvIP,
+				Port:        port,
+				MsgSize:     s.MsgSize,
+				Rounds:      s.Rounds,
+				Conns:       s.ConnsPerThread,
+				Outstanding: s.Outstanding,
+				Metrics:     m,
+			}),
+		})
+	}
+	cl.Start()
+	cl.Run(s.Warmup)
+	m.ResetWindow()
+	if s.ServerArch == ArchIX {
+		cl.IXServer(0).ResetStats()
+	}
+	cl.Run(s.Window)
+	res := EchoResult{
+		MsgsPerSec:  float64(m.Msgs.Since()) / s.Window.Seconds(),
+		ConnsPerSec: float64(m.Conns.Since()) / s.Window.Seconds(),
+		RTTp50:      m.Latency.Quantile(0.5),
+		RTTp99:      m.Latency.Quantile(0.99),
+		RTTMean:     m.Latency.Mean(),
+	}
+	res.GoodputBps = res.MsgsPerSec * float64(s.MsgSize) * 8
+	if s.ServerArch == ArchIX {
+		dp := cl.IXServer(0)
+		k, u := dp.CPUBreakdown()
+		if k+u > 0 {
+			res.ServerKernelShare = float64(k) / float64(k+u)
+		}
+		if msgs := m.Msgs.Since(); msgs > 0 {
+			res.KernelPerMsg = k / time.Duration(msgs)
+		}
+		res.MeanBatch = dp.MeanBatch()
+		res.Drops = dp.RxDrops()
+	}
+	m.Running = false
+	return res
+}

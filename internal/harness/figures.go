@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fig2 regenerates the NetPIPE experiment (§5.2, Fig. 2): goodput for
+// varying message sizes with the same system on both ends, plus the
+// headline one-way latencies for 64 B messages.
+func Fig2(sc Scale) *Result {
+	r := &Result{
+		Name:   "NetPIPE ping-pong",
+		Figure: "Figure 2",
+		XLabel: "msg bytes",
+		YLabel: "goodput Gbps",
+	}
+	sizes := []int{64, 256, 1024, 4096, 16384, 65536, 131072, 262144, 524288}
+	archs := []Arch{ArchLinux, ArchMTCP, ArchIX}
+	oneWay := map[Arch]time.Duration{}
+	for _, a := range archs {
+		for _, size := range sizes {
+			res := RunEcho(EchoSetup{
+				ServerArch:     a,
+				ServerCores:    1,
+				ClientArch:     a,
+				ClientHosts:    1,
+				ClientCores:    1,
+				ConnsPerThread: 1,
+				Rounds:         0,
+				MsgSize:        size,
+				Warmup:         sc.Warmup,
+				Window:         sc.Window,
+			})
+			// NetPIPE reports size / one-way time.
+			if res.RTTMean > 0 {
+				g := float64(size) * 8 / (res.RTTMean.Seconds() / 2) / 1e9
+				r.AddPoint(fmt.Sprintf("%v-%v", a, a), float64(size), g)
+			}
+			if size == 64 {
+				oneWay[a] = res.RTTMean / 2
+			}
+		}
+	}
+	r.Tables = append(r.Tables, Table{
+		Title:   "unloaded one-way latency, 64B (paper: IX 5.7µs, Linux 24µs, mTCP ~10x IX)",
+		Columns: []string{"config", "one-way latency"},
+		Rows: [][]string{
+			{"IX-IX", oneWay[ArchIX].String()},
+			{"Linux-Linux", oneWay[ArchLinux].String()},
+			{"mTCP-mTCP", oneWay[ArchMTCP].String()},
+		},
+	})
+	return r
+}
+
+// echoSeries runs one point of the §5.3 benchmark for a named config.
+type echoConfig struct {
+	label string
+	arch  Arch
+	ports int
+}
+
+var echoConfigs10G = []echoConfig{
+	{"Linux-10", ArchLinux, 1},
+	{"mTCP-10", ArchMTCP, 1},
+	{"IX-10", ArchIX, 1},
+}
+
+var echoConfigs40G = []echoConfig{
+	{"Linux-40", ArchLinux, 4},
+	{"IX-40", ArchIX, 4},
+}
+
+// Fig3a regenerates the multi-core scalability sweep (Fig. 3a): n=1,
+// s=64 B, message (= connection) rate vs server cores. mTCP is reported
+// only at 10GbE, as in the paper (no bonding support).
+func Fig3a(sc Scale) *Result {
+	r := &Result{
+		Name:   "echo multi-core scalability (n=1, s=64B)",
+		Figure: "Figure 3a",
+		XLabel: "server cores",
+		YLabel: "messages/s",
+	}
+	configs := append(append([]echoConfig{}, echoConfigs10G...), echoConfigs40G...)
+	for _, cfgc := range configs {
+		for cores := 1; cores <= 8; cores++ {
+			res := RunEcho(EchoSetup{
+				ServerArch:     cfgc.arch,
+				ServerCores:    cores,
+				ServerPorts:    cfgc.ports,
+				ClientArch:     ArchLinux,
+				ClientHosts:    sc.EchoClients,
+				ClientCores:    sc.ClientCores,
+				ConnsPerThread: 4,
+				Rounds:         1,
+				MsgSize:        64,
+				Warmup:         sc.Warmup,
+				Window:         sc.Window,
+			})
+			r.AddPoint(cfgc.label, float64(cores), res.MsgsPerSec)
+		}
+	}
+	return r
+}
+
+// Fig3b regenerates the round-trips-per-connection sweep (Fig. 3b):
+// 8 cores, s=64 B, n ∈ {1..1024}.
+func Fig3b(sc Scale) *Result {
+	r := &Result{
+		Name:   "echo messages per connection (s=64B, 8 cores)",
+		Figure: "Figure 3b",
+		XLabel: "msgs per conn",
+		YLabel: "messages/s",
+	}
+	ns := []int{1, 2, 8, 32, 64, 128, 256, 512, 1024}
+	configs := append(append([]echoConfig{}, echoConfigs10G...), echoConfigs40G...)
+	for _, cfgc := range configs {
+		for _, n := range ns {
+			res := RunEcho(EchoSetup{
+				ServerArch:     cfgc.arch,
+				ServerCores:    8,
+				ServerPorts:    cfgc.ports,
+				ClientArch:     ArchLinux,
+				ClientHosts:    sc.EchoClients,
+				ClientCores:    sc.ClientCores,
+				ConnsPerThread: 4,
+				Rounds:         n,
+				MsgSize:        64,
+				Warmup:         sc.Warmup,
+				Window:         sc.Window,
+			})
+			r.AddPoint(cfgc.label, float64(n), res.MsgsPerSec)
+		}
+	}
+	return r
+}
+
+// Fig3c regenerates the message-size sweep (Fig. 3c): n=1, 8 cores,
+// goodput vs message size.
+func Fig3c(sc Scale) *Result {
+	r := &Result{
+		Name:   "echo message sizes (n=1, 8 cores)",
+		Figure: "Figure 3c",
+		XLabel: "msg bytes",
+		YLabel: "goodput Gbps",
+	}
+	sizes := []int{64, 256, 1024, 4096, 8192}
+	configs := append(append([]echoConfig{}, echoConfigs10G...), echoConfigs40G...)
+	for _, cfgc := range configs {
+		for _, size := range sizes {
+			res := RunEcho(EchoSetup{
+				ServerArch:     cfgc.arch,
+				ServerCores:    8,
+				ServerPorts:    cfgc.ports,
+				ClientArch:     ArchLinux,
+				ClientHosts:    sc.EchoClients,
+				ClientCores:    sc.ClientCores,
+				ConnsPerThread: 4,
+				Rounds:         1,
+				MsgSize:        size,
+				Warmup:         sc.Warmup,
+				Window:         sc.Window,
+			})
+			r.AddPoint(cfgc.label, float64(size), res.GoodputBps/1e9)
+		}
+	}
+	return r
+}
+
+// Fig4 regenerates connection scalability (§5.4, Fig. 4): maximum 64 B
+// message rate vs total established connections, with each client thread
+// rotating a bounded number of in-flight RPCs over its connection set
+// (n=24 threads per client in the paper).
+func Fig4(sc Scale) *Result {
+	r := &Result{
+		Name:   "connection scalability (s=64B)",
+		Figure: "Figure 4",
+		XLabel: "connections",
+		YLabel: "messages/s",
+	}
+	counts := []int{10, 100, 1000, 10_000, 50_000, 100_000, 250_000}
+	configs := []echoConfig{
+		{"Linux-10", ArchLinux, 1},
+		{"Linux-40", ArchLinux, 4},
+		{"IX-10", ArchIX, 1},
+		{"IX-40", ArchIX, 4},
+	}
+	for _, cfgc := range configs {
+		for _, total := range counts {
+			if total > sc.MaxConns {
+				continue
+			}
+			threads := sc.EchoClients * sc.ClientCores
+			per := (total + threads - 1) / threads
+			if per < 1 {
+				per = 1
+			}
+			// The paper maximizes throughput at n=24 threads/client;
+			// we bound in-flight RPCs per thread similarly.
+			out := 3
+			if per < out {
+				out = per
+			}
+			res := RunEcho(EchoSetup{
+				ServerArch:     cfgc.arch,
+				ServerCores:    8,
+				ServerPorts:    cfgc.ports,
+				ClientArch:     ArchLinux,
+				ClientHosts:    sc.EchoClients,
+				ClientCores:    sc.ClientCores,
+				ConnsPerThread: per,
+				Outstanding:    out,
+				MsgSize:        64,
+				Warmup:         sc.Warmup + time.Duration(total/2)*time.Microsecond,
+				Window:         sc.Window,
+			})
+			r.AddPoint(cfgc.label, float64(threads*per), res.MsgsPerSec)
+		}
+	}
+	r.Notes = append(r.Notes,
+		"droop at high counts comes from the DDIO/L3 model: 1.4 misses/msg ≤10k conns → ~25 at 250k")
+	return r
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"ix/internal/mutilate"
+)
+
+// TestProbeEchoThroughput is a calibration probe (not a paper assertion):
+// it logs single-point throughputs used while tuning the cost model.
+func TestProbeEchoThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, cfg := range []struct {
+		label string
+		arch  Arch
+		ports int
+	}{
+		{"IX-10", ArchIX, 1}, {"IX-40", ArchIX, 4}, {"Linux-10", ArchLinux, 1}, {"mTCP-10", ArchMTCP, 1},
+	} {
+		res := RunEcho(EchoSetup{
+			ServerArch: cfg.arch, ServerCores: 8, ServerPorts: cfg.ports,
+			ClientArch: ArchLinux, ClientHosts: 10, ClientCores: 6,
+			ConnsPerThread: 4, Rounds: 1024, MsgSize: 64,
+			Warmup: 5 * time.Millisecond, Window: 10 * time.Millisecond,
+		})
+		t.Logf("%s n=1024: %.2fM msg/s rtt50=%v batch=%.1f kern=%.0f%% kernPerMsg=%v",
+			cfg.label, res.MsgsPerSec/1e6, res.RTTp50, res.MeanBatch, res.ServerKernelShare*100, res.KernelPerMsg)
+	}
+}
+
+// TestProbeMemcached logs one memcached point per config.
+func TestProbeMemcached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, cfg := range memcConfigs {
+		for _, target := range []float64{150_000, 250_000, 350_000, 1_500_000} {
+			res := RunMemcached(MemcSetup{
+				ServerArch: cfg.arch, ServerCores: cfg.cores, BatchBound: cfg.batch,
+				Workload: mutilate.USR, TargetRPS: target,
+				ClientHosts: 12, ClientCores: 2,
+				Warmup: 5 * time.Millisecond, Window: 15 * time.Millisecond,
+			})
+			t.Logf("USR-%s target=%.0fk: achieved=%.0fk p99=%v mean=%v kern=%.0f%%",
+				cfg.label, target/1000, res.AchievedRPS/1000, res.AgentP99, res.AgentMean, res.ServerKernelShare*100)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultSeriesOps(t *testing.T) {
+	r := &Result{Name: "x", Figure: "Fig T", XLabel: "n", YLabel: "v"}
+	r.AddPoint("a", 1, 10)
+	r.AddPoint("a", 2, 20)
+	r.AddPoint("b", 1, 5)
+	if v, ok := r.Get("a", 2); !ok || v != 20 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	if _, ok := r.Get("a", 3); ok {
+		t.Fatal("missing x found")
+	}
+	if r.Max("a") != 20 || r.Max("b") != 5 || r.Max("zzz") != 0 {
+		t.Fatal("Max broken")
+	}
+	out := r.String()
+	for _, want := range []string{"Fig T", "a", "b", "20", "n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultTableFormatting(t *testing.T) {
+	r := &Result{Name: "t", Figure: "Table X"}
+	r.Tables = append(r.Tables, Table{
+		Title:   "demo",
+		Columns: []string{"config", "value"},
+		Rows:    [][]string{{"IX", "1550K"}, {"Linux", "550K"}},
+	})
+	r.Notes = append(r.Notes, "a note")
+	out := r.String()
+	for _, want := range []string{"demo", "IX", "1550K", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, sc := range []Scale{Full, Quick} {
+		if sc.Window <= 0 || sc.EchoClients <= 0 || sc.MemcClients <= 0 || sc.RPSSteps < 3 {
+			t.Fatalf("bad scale %+v", sc)
+		}
+	}
+	if Quick.EchoClients >= Full.EchoClients {
+		t.Fatal("quick should be smaller than full")
+	}
+}

@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSpotFullScale measures the Fig. 3b headline points at the paper's
+// full client scale (18 machines x 8 cores). ~16s; skipped with -short.
+func TestSpotFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale spot check")
+	}
+	for _, cfg := range []struct {
+		label string
+		arch  Arch
+		ports int
+	}{{"IX-10", ArchIX, 1}, {"IX-40", ArchIX, 4}, {"mTCP-10", ArchMTCP, 1}, {"Linux-10", ArchLinux, 1}} {
+		res := RunEcho(EchoSetup{
+			ServerArch: cfg.arch, ServerCores: 8, ServerPorts: cfg.ports,
+			ClientArch: ArchLinux, ClientHosts: 18, ClientCores: 8,
+			ConnsPerThread: 4, Rounds: 1024, MsgSize: 64,
+			Warmup: 8 * time.Millisecond, Window: 20 * time.Millisecond,
+		})
+		t.Logf("%s n=1024 FULL: %.2fM msg/s (kern/msg %v, batch %.1f)",
+			cfg.label, res.MsgsPerSec/1e6, res.KernelPerMsg, res.MeanBatch)
+	}
+}

@@ -1,0 +1,531 @@
+// Package linuxstack models the paper's carefully tuned Linux 3.16
+// baseline (§5.1): an interrupt-driven kernel TCP stack with NAPI
+// softirq processing, socket buffers with copies at the syscall boundary,
+// epoll-based event delivery with scheduler wakeups, and application
+// threads pinned one per core sharing those cores with kernel work.
+//
+// Unlike IX's shared-nothing elastic threads, the kernel's connection
+// table is global: any core's softirq context can process any flow (the
+// shared Stack below), with RSS steering packets to per-core queues and
+// affinity-accept-style handoff of accepted sockets to the core that
+// received them. The same TCP protocol engine as IX runs underneath;
+// what differs — and what this package models — is *where and when*
+// protocol work executes: hardirq → softirq → socket buffer → wakeup →
+// epoll_wait → read/write syscalls with per-byte copies, instead of IX's
+// run-to-completion cycle.
+package linuxstack
+
+import (
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/cost"
+	"ix/internal/mem"
+	"ix/internal/netstack"
+	"ix/internal/nicsim"
+	"ix/internal/sim"
+	"ix/internal/timerwheel"
+	"ix/internal/wire"
+)
+
+// napiBudget is the Linux NAPI poll budget (packets per softirq poll).
+const napiBudget = 64
+
+// readChunk is the bytes drained per read() call (application buffer).
+const readChunk = 64 << 10
+
+// Config describes a Linux host.
+type Config struct {
+	Name string
+	IP   wire.IPv4
+	MAC  wire.MAC
+	// Cores is the number of cores; one NIC queue pair, one pinned
+	// application thread and one softirq context per core, with
+	// interrupts affinitized (§5.1's tuning).
+	Cores int
+	// Cost is the Linux cost model.
+	Cost cost.Linux
+	// Factory builds the per-thread application.
+	Factory app.Factory
+	// ITR is interrupt moderation; the paper tunes thresholds, so the
+	// default is a low 4 µs.
+	ITR time.Duration
+	// Seed, RcvWnd, MinRTO, MemPages tune the stack.
+	Seed     uint64
+	RcvWnd   int
+	MinRTO   time.Duration
+	MemPages int
+	NICRing  int
+}
+
+// Host is one Linux machine: a single kernel stack, per-core NIC queues
+// and softirq contexts, and one pinned application thread per core.
+type Host struct {
+	eng    *sim.Engine
+	cfg    Config
+	nic    *nicsim.NIC
+	arp    *netstack.ARPTable
+	region *mem.Region
+	cores  []*kcore
+
+	// ns is the *shared* kernel network stack (global PCB table).
+	ns *netstack.Stack
+	// wheel is the kernel timer wheel (global, as in Linux).
+	wheel *timerwheel.Wheel
+	// cur is the core whose context is currently executing kernel or
+	// app work; stack callbacks attribute costs and output to it.
+	cur *kcore
+
+	listening map[uint16]bool
+	timerWake *sim.Event
+}
+
+// New builds a Linux host. Attach NIC ports before Start.
+func New(eng *sim.Engine, cfg Config) *Host {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Cost == (cost.Linux{}) {
+		cfg.Cost = cost.DefaultLinux()
+	}
+	if cfg.ITR == 0 {
+		cfg.ITR = 4 * time.Microsecond
+	}
+	if cfg.MemPages <= 0 {
+		cfg.MemPages = 512
+	}
+	h := &Host{
+		eng:       eng,
+		cfg:       cfg,
+		arp:       netstack.NewARPTable(),
+		region:    mem.NewRegion(cfg.MemPages),
+		listening: make(map[uint16]bool),
+	}
+	h.nic = nicsim.New(eng, cfg.MAC, nicsim.Config{
+		Queues:   cfg.Cores,
+		RingSize: cfg.NICRing,
+		ITR:      cfg.ITR,
+	})
+	h.wheel = timerwheel.New(timerwheel.DefaultTick, int64(eng.Now()))
+	h.ns = netstack.New(netstack.Config{
+		LocalIP:  cfg.IP,
+		LocalMAC: cfg.MAC,
+		Now:      func() int64 { return int64(eng.Now()) },
+		Wheel:    h.wheel,
+		SendFrame: func(f []byte) {
+			c := h.cur
+			if c == nil {
+				c = h.cores[0]
+			}
+			c.outFrames = append(c.outFrames, f)
+		},
+		Events: (*kernelEvents)(h),
+		ARP:    h.arp,
+		Seed:   cfg.Seed,
+		RcvWnd: cfg.RcvWnd,
+		MinRTO: cfg.MinRTO,
+		// Linux delays pure ACKs so responses piggyback them (scaled
+		// to the simulation's RTO floor).
+		DelAck: 100 * time.Microsecond,
+	})
+	return h
+}
+
+// NIC returns the host NIC for fabric attachment.
+func (h *Host) NIC() *nicsim.NIC { return h.nic }
+
+// ARP returns the host ARP table.
+func (h *Host) ARP() *netstack.ARPTable { return h.arp }
+
+// IP returns the host address.
+func (h *Host) IP() wire.IPv4 { return h.cfg.IP }
+
+// MAC returns the hardware address.
+func (h *Host) MAC() wire.MAC { return h.cfg.MAC }
+
+// Stack exposes the shared kernel stack (tests).
+func (h *Host) Stack() *netstack.Stack { return h.ns }
+
+// Start spawns per-core kernel contexts and application threads.
+func (h *Host) Start() {
+	for i := 0; i < h.cfg.Cores; i++ {
+		h.cores = append(h.cores, newKcore(h, i))
+	}
+	for _, k := range h.cores {
+		k.handler = h.cfg.Factory(k.env(), k.id, h.cfg.Cores)
+		k.maybeWakeApp()
+	}
+}
+
+// Cores returns the core count.
+func (h *Host) Cores() int { return len(h.cores) }
+
+// ConnCount returns live connections.
+func (h *Host) ConnCount() int { return h.ns.TCP().ConnCount() }
+
+// CPUBreakdown reports kernel vs user busy time since ResetStats.
+func (h *Host) CPUBreakdown() (kernel, user time.Duration) {
+	for _, k := range h.cores {
+		kernel += time.Duration(k.kernelNs)
+		user += time.Duration(k.userNs)
+	}
+	return kernel, user
+}
+
+// ResetStats zeroes measurement counters.
+func (h *Host) ResetStats() {
+	for _, k := range h.cores {
+		k.kernelNs, k.userNs = 0, 0
+		k.core.ResetStats()
+	}
+}
+
+// ensureTimerWake arranges a kernel tick for the next timer deadline.
+func (h *Host) ensureTimerWake() {
+	nd, ok := h.wheel.NextDeadline()
+	if !ok {
+		return
+	}
+	at := sim.Time(nd)
+	if at < h.eng.Now() {
+		at = h.eng.Now()
+	}
+	if h.timerWake != nil {
+		if h.timerWake.At() <= at {
+			return
+		}
+		h.eng.Cancel(h.timerWake)
+	}
+	h.timerWake = h.eng.At(at, func() {
+		h.timerWake = nil
+		k := h.cores[0]
+		k.core.Submit(sim.ClassKernel, func(m *sim.Meter) {
+			h.cur = k
+			k.curMeter = m
+			h.wheel.Advance(int64(h.eng.Now()))
+			h.ns.Flush()
+			k.curMeter = nil
+			h.cur = nil
+			k.drainAtEnd(m)
+		})
+	})
+}
+
+// kcore is one core: a NAPI softirq context plus the pinned app thread.
+type kcore struct {
+	h    *Host
+	id   int
+	core *sim.Core
+
+	pool *mem.MbufPool
+	rxq  *nicsim.RxQueue
+	txq  *nicsim.TxQueue
+
+	handler app.Handler
+
+	// epoll state.
+	readyQ     []*sock
+	appRunning bool
+	napiQueued bool
+
+	outFrames [][]byte
+	curMeter  *sim.Meter
+	sysKernel time.Duration
+
+	kernelNs int64
+	userNs   int64
+}
+
+func newKcore(h *Host, id int) *kcore {
+	k := &kcore{
+		h:    h,
+		id:   id,
+		core: sim.NewCore(h.eng, id),
+		pool: mem.NewMbufPool(h.region, id),
+	}
+	k.core.CtxSwitch = h.cfg.Cost.CtxSwitch
+	k.rxq = h.nic.RxQueue(id)
+	k.txq = h.nic.TxQueue(id)
+	k.rxq.Mode = nicsim.ModeInterrupt
+	k.rxq.OnInterrupt = k.hardIRQ
+	k.rxq.EnableInterrupt()
+	return k
+}
+
+// chargeK charges kernel work inside whatever task is running.
+func (k *kcore) chargeK(d time.Duration) {
+	if k.curMeter != nil {
+		k.curMeter.Charge(d)
+	}
+	k.kernelNs += int64(d)
+	k.sysKernel += d
+}
+
+// drainAtEnd posts accumulated frames at task end.
+func (k *kcore) drainAtEnd(m *sim.Meter) {
+	out := k.outFrames
+	k.outFrames = nil
+	m.AtEnd(func() {
+		for _, f := range out {
+			k.txq.Post(f)
+		}
+		k.h.ensureTimerWake()
+	})
+}
+
+// hardIRQ is the NIC interrupt: schedule softirq (NAPI) on this core.
+func (k *kcore) hardIRQ() {
+	k.rxq.DisableInterrupt()
+	k.scheduleNAPI()
+}
+
+func (k *kcore) scheduleNAPI() {
+	if k.napiQueued {
+		return
+	}
+	k.napiQueued = true
+	k.core.Submit(sim.ClassKernel, k.napiPoll)
+}
+
+// napiPoll is one softirq poll round: up to the budget of packets through
+// the shared kernel stack, then re-poll or re-enable interrupts.
+func (k *kcore) napiPoll(m *sim.Meter) {
+	h := k.h
+	k.napiQueued = false
+	h.cur = k
+	k.curMeter = m
+	c := &h.cfg.Cost
+	m.Charge(c.HardIRQ)
+	k.kernelNs += int64(c.HardIRQ)
+	frames := k.rxq.Take(napiBudget)
+	k.rxq.PostDescriptors(len(frames))
+	miss := time.Duration(cost.MissesPerMsg(h.ConnCount()) * float64(c.L3Miss))
+	for _, f := range frames {
+		buf := k.pool.Alloc()
+		if buf == nil {
+			continue
+		}
+		buf.SetData(f.Data)
+		d := c.SoftIRQPerPkt + miss
+		m.Charge(d)
+		k.kernelNs += int64(d)
+		h.ns.Input(buf)
+		buf.Unref()
+	}
+	// Kernel timers piggyback on softirq.
+	h.wheel.Advance(int64(h.eng.Now()))
+	// The kernel acks as it processes, sliding its receive window
+	// independent of the application (§3).
+	h.ns.Flush()
+	k.curMeter = nil
+	h.cur = nil
+	out := k.outFrames
+	k.outFrames = nil
+	more := k.rxq.Len() > 0
+	m.AtEnd(func() {
+		for _, f := range out {
+			k.txq.Post(f)
+		}
+		if more {
+			k.scheduleNAPI()
+		} else {
+			k.rxq.EnableInterrupt()
+		}
+		h.ensureTimerWake()
+	})
+}
+
+// enqueueReady marks a socket eventful and wakes its owning core's app
+// thread if it is blocked in epoll_wait.
+func (k *kcore) enqueueReady(s *sock) {
+	if !s.inReady {
+		s.inReady = true
+		k.readyQ = append(k.readyQ, s)
+	}
+	k.maybeWakeApp()
+}
+
+func (k *kcore) maybeWakeApp() {
+	if k.appRunning || len(k.readyQ) == 0 {
+		return
+	}
+	k.appRunning = true
+	// Scheduler wakeup latency for the blocked, pinned thread.
+	k.core.SubmitAfter(k.h.cfg.Cost.WakeupLatency, sim.ClassUser, k.appRun)
+}
+
+// appRun is the application thread resuming from epoll_wait.
+func (k *kcore) appRun(m *sim.Meter) {
+	h := k.h
+	h.cur = k
+	k.curMeter = m
+	k.sysKernel = 0
+	c := &h.cfg.Cost
+	k.chargeK(c.SyscallEntry) // epoll_wait return
+	userStart := m.Elapsed()
+	preKernel := k.sysKernel
+	for len(k.readyQ) > 0 {
+		s := k.readyQ[0]
+		k.readyQ = k.readyQ[1:]
+		s.inReady = false
+		k.chargeK(c.EpollDispatch)
+		k.dispatch(s)
+	}
+	userSpent := m.Elapsed() - userStart - (k.sysKernel - preKernel)
+	if userSpent > 0 {
+		k.userNs += int64(userSpent)
+	}
+	k.curMeter = nil
+	h.cur = nil
+	out := k.outFrames
+	k.outFrames = nil
+	m.AtEnd(func() {
+		for _, f := range out {
+			k.txq.Post(f)
+		}
+		k.appRunning = false
+		k.maybeWakeApp() // events may have landed while we ran
+		h.ensureTimerWake()
+	})
+}
+
+// dispatch delivers one ready socket's events to the application.
+func (k *kcore) dispatch(s *sock) {
+	c := &k.h.cfg.Cost
+	if s.acceptPending {
+		s.acceptPending = false
+		k.chargeK(c.SyscallEntry + c.ConnSetup) // accept4()
+		k.handler.OnAccept(s)
+	}
+	if s.connectedPending {
+		s.connectedPending = false
+		k.handler.OnConnected(s, s.connectedOK)
+		if !s.connectedOK {
+			return
+		}
+	}
+	for len(s.rcvbuf) > 0 {
+		n := len(s.rcvbuf)
+		if n > readChunk {
+			n = readChunk
+		}
+		chunk := s.rcvbuf[:n]
+		s.rcvbuf = s.rcvbuf[n:]
+		k.chargeK(c.SyscallEntry + c.SockRead + c.CopyPerByte.Cost(n))
+		if s.conn != nil {
+			s.conn.RecvDone(n) // window opens as the app consumes
+		}
+		k.handler.OnRecv(s, chunk)
+		if s.dead {
+			return
+		}
+	}
+	if len(s.rcvbuf) == 0 {
+		s.rcvbuf = nil
+	}
+	if s.sentPending > 0 {
+		n := s.sentPending
+		s.sentPending = 0
+		k.handler.OnSent(s, n)
+	}
+	if s.eofPending {
+		s.eofPending = false
+		k.handler.OnEOF(s)
+	}
+	if s.deadPending {
+		s.deadPending = false
+		s.dead = true
+		k.handler.OnClosed(s)
+	}
+}
+
+// env returns the app.Env for this core's application thread.
+func (k *kcore) env() app.Env { return (*kenv)(k) }
+
+// kenv implements app.Env on a kcore.
+type kenv kcore
+
+func (e *kenv) k() *kcore { return (*kcore)(e) }
+
+func (e *kenv) Now() int64 { return int64(e.h.eng.Now()) }
+
+func (e *kenv) Thread() int { return e.id }
+
+func (e *kenv) Charge(d time.Duration) {
+	k := e.k()
+	if k.curMeter != nil {
+		k.curMeter.Charge(d)
+	} else {
+		k.userNs += int64(d)
+	}
+}
+
+// Elapsed returns CPU time charged in the current task.
+func (e *kenv) Elapsed() time.Duration {
+	if k := e.k(); k.curMeter != nil {
+		return k.curMeter.Elapsed()
+	}
+	return 0
+}
+
+// Listen binds the shared kernel stack to port once; further listens are
+// SO_REUSEPORT no-ops (accepted sockets are distributed by RSS core).
+func (e *kenv) Listen(port uint16) error {
+	k := e.k()
+	if k.h.listening[port] {
+		return nil
+	}
+	k.h.listening[port] = true
+	_, err := k.h.ns.TCP().Listen(port, nil)
+	return err
+}
+
+// runAppTask runs fn in an app-thread task with kernel context wiring.
+func (k *kcore) runAppTask(fn func()) {
+	k.core.Submit(sim.ClassUser, func(m *sim.Meter) {
+		k.h.cur = k
+		k.curMeter = m
+		fn()
+		k.curMeter = nil
+		k.h.cur = nil
+		out := k.outFrames
+		k.outFrames = nil
+		m.AtEnd(func() {
+			for _, f := range out {
+				k.txq.Post(f)
+			}
+			k.maybeWakeApp()
+			k.h.ensureTimerWake()
+		})
+	})
+}
+
+func (e *kenv) After(d time.Duration, fn func()) {
+	k := e.k()
+	k.h.eng.After(d, func() { k.runAppTask(fn) })
+}
+
+func (e *kenv) Connect(dst wire.IPv4, port uint16, cookie any) error {
+	k := e.k()
+	doConnect := func() {
+		k.chargeK(k.h.cfg.Cost.SyscallEntry + k.h.cfg.Cost.ConnSetup)
+		conn, err := k.h.ns.TCP().Connect(dst, port, nil)
+		if err != nil {
+			s := &sock{k: k, cookie: cookie, connectedPending: true, dead: true}
+			k.enqueueReady(s)
+			return
+		}
+		s := &sock{k: k, conn: conn, cookie: cookie}
+		conn.Cookie = s
+	}
+	if k.curMeter != nil {
+		prev := k.h.cur
+		k.h.cur = k
+		doConnect()
+		k.h.cur = prev
+		return nil
+	}
+	// Issued outside any task (program start): run as an app task.
+	k.runAppTask(doConnect)
+	return nil
+}

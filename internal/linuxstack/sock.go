@@ -1,0 +1,195 @@
+package linuxstack
+
+import (
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/mem"
+	"ix/internal/tcp"
+	"ix/internal/wire"
+)
+
+// sndbufMax models SO_SNDBUF: bytes the kernel will buffer beyond what
+// the TCP window has accepted (Linux buffers send data past raw TCP
+// constraints and applies flow control inside the kernel, §4.3).
+const sndbufMax = 4 << 20
+
+// sock is a kernel socket plus its epoll registration: the Linux analogue
+// of an IX flow handle + libix conn.
+type sock struct {
+	k      *kcore
+	conn   *tcp.Conn
+	cookie any
+
+	// rcvbuf holds bytes copied out of skbs, awaiting read().
+	rcvbuf []byte
+	// sndbuf holds bytes written by the app beyond the TCP window.
+	sndbuf []byte
+
+	inReady          bool
+	acceptPending    bool
+	connectedPending bool
+	connectedOK      bool
+	sentPending      int
+	eofPending       bool
+	deadPending      bool
+	dead             bool
+}
+
+var _ app.Conn = (*sock)(nil)
+
+// Send is write(2): syscall entry, kernel copy, inline TCP transmit of
+// whatever the window takes, kernel sndbuf for the rest.
+func (s *sock) Send(b []byte) int {
+	if s.dead || s.conn == nil {
+		return 0
+	}
+	k := s.k
+	c := &k.h.cfg.Cost
+	k.chargeK(c.SyscallEntry + c.SockWrite + c.CopyPerByte.Cost(len(b)))
+	room := sndbufMax - len(s.sndbuf)
+	if room <= 0 {
+		return 0
+	}
+	if len(b) > room {
+		b = b[:room]
+	}
+	// The kernel owns a copy of the data from here on.
+	s.sndbuf = append(s.sndbuf, b...)
+	s.flushSnd()
+	return len(b)
+}
+
+// flushSnd pushes sndbuf into the TCP engine as the window allows;
+// runs inline on write() and from softirq on ACKs.
+func (s *sock) flushSnd() {
+	if len(s.sndbuf) == 0 || s.conn == nil {
+		return
+	}
+	n := s.conn.Sendv([][]byte{s.sndbuf})
+	if n > 0 {
+		k := s.k
+		segs := (n + wire.MSS - 1) / wire.MSS
+		k.chargeK(time.Duration(segs) * k.h.cfg.Cost.TxPerPkt)
+		// Note: the transmitted prefix must stay immutable until acked
+		// (zero-copy contract of the engine); the kernel model honors
+		// that by never mutating consumed prefixes.
+		s.sndbuf = s.sndbuf[n:]
+		if len(s.sndbuf) == 0 {
+			s.sndbuf = nil
+		}
+	}
+}
+
+// Unsent reports kernel-buffered bytes not yet accepted by TCP.
+func (s *sock) Unsent() int { return len(s.sndbuf) }
+
+// Close is close(2) → FIN.
+func (s *sock) Close() {
+	if s.dead || s.conn == nil {
+		return
+	}
+	s.k.chargeK(s.k.h.cfg.Cost.SyscallEntry)
+	s.conn.Close()
+}
+
+// Abort is close(2) with SO_LINGER 0 → RST.
+func (s *sock) Abort() {
+	if s.dead || s.conn == nil {
+		return
+	}
+	s.k.chargeK(s.k.h.cfg.Cost.SyscallEntry)
+	s.conn.Abort()
+}
+
+// Cookie returns the app tag.
+func (s *sock) Cookie() any { return s.cookie }
+
+// SetCookie tags the socket.
+func (s *sock) SetCookie(v any) { s.cookie = v }
+
+// kernelEvents adapts TCP engine callbacks to socket state; methods run
+// in softirq (or inline write()) context on whichever core is current.
+type kernelEvents Host
+
+// k returns the core whose context is executing (for cost attribution
+// and new-socket affinity — the affinity-accept behaviour of §2.3).
+func (ke *kernelEvents) k() *kcore {
+	h := (*Host)(ke)
+	if h.cur != nil {
+		return h.cur
+	}
+	return h.cores[0]
+}
+
+func (ke *kernelEvents) Knock(l *tcp.Listener, key wire.FlowKey) bool { return true }
+
+func (ke *kernelEvents) Accepted(c *tcp.Conn) {
+	k := ke.k()
+	s := &sock{k: k, conn: c, acceptPending: true}
+	c.Cookie = s
+	k.enqueueReady(s)
+}
+
+func (ke *kernelEvents) Connected(c *tcp.Conn, ok bool) {
+	k := ke.k()
+	s, _ := c.Cookie.(*sock)
+	if s == nil {
+		return
+	}
+	s.connectedPending = true
+	s.connectedOK = ok
+	if !ok {
+		s.dead = true
+	}
+	k.enqueueReady(s)
+}
+
+func (ke *kernelEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
+	k := ke.k()
+	s, _ := c.Cookie.(*sock)
+	if s == nil {
+		return
+	}
+	// skb → socket buffer. The byte copy cost is charged at read()
+	// time (CopyPerByte covers the single kernel→user copy; queueing
+	// here models skb retention without holding the mbuf).
+	s.rcvbuf = append(s.rcvbuf, data...)
+	k.enqueueReady(s)
+}
+
+func (ke *kernelEvents) Sent(c *tcp.Conn, acked int) {
+	k := ke.k()
+	s, _ := c.Cookie.(*sock)
+	if s == nil {
+		return
+	}
+	// ACK-clocked transmit from softirq context.
+	s.flushSnd()
+	// Only wake the app for write-readiness when it still has buffered
+	// data (libevent-style write events are enabled on demand).
+	if acked > 0 && len(s.sndbuf) > 0 {
+		s.sentPending += acked
+		k.enqueueReady(s)
+	}
+}
+
+func (ke *kernelEvents) RemoteClosed(c *tcp.Conn) {
+	k := ke.k()
+	s, _ := c.Cookie.(*sock)
+	if s == nil {
+		return
+	}
+	s.eofPending = true
+	k.enqueueReady(s)
+}
+
+func (ke *kernelEvents) Dead(c *tcp.Conn, reason tcp.Reason) {
+	k := ke.k()
+	s, _ := c.Cookie.(*sock)
+	if s == nil {
+		return
+	}
+	s.deadPending = true
+	k.enqueueReady(s)
+}

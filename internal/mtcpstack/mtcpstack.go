@@ -1,0 +1,599 @@
+// Package mtcpstack models mTCP (Jeong et al., NSDI '14), the
+// state-of-the-art user-level TCP stack the paper compares against: each
+// core runs a dedicated TCP thread that polls the NIC DPDK-style and
+// exchanges *batched* event and job queues with the application thread at
+// relatively coarse granularity. The aggressive batching amortizes
+// switching overheads and delivers high packet rates, but events and
+// writes sit in the handoff queues for tens of microseconds — the
+// latency-for-throughput trade §2.3 and §5.2 describe ("mTCP uses
+// aggressive batching to offset the cost of context switching, which
+// comes at the expense of higher latency").
+//
+// The same TCP protocol engine as IX and the Linux model runs underneath.
+package mtcpstack
+
+import (
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/cost"
+	"ix/internal/mem"
+	"ix/internal/netstack"
+	"ix/internal/nicsim"
+	"ix/internal/sim"
+	"ix/internal/tcp"
+	"ix/internal/timerwheel"
+	"ix/internal/wire"
+)
+
+// pollBatch is the TCP thread's per-round packet budget (mTCP uses large
+// I/O batches).
+const pollBatch = 2048
+
+// sndbufMax bounds the per-connection user-level send buffer.
+const sndbufMax = 4 << 20
+
+// Config describes an mTCP host.
+type Config struct {
+	Name string
+	IP   wire.IPv4
+	MAC  wire.MAC
+	// Cores is the number of core pairs (TCP thread + app thread per
+	// core, as mTCP deploys).
+	Cores int
+	// Cost is the mTCP cost model.
+	Cost cost.MTCP
+	// Factory builds the per-thread application.
+	Factory app.Factory
+	// Seed, RcvWnd, MinRTO, MemPages tune the stack.
+	Seed     uint64
+	RcvWnd   int
+	MinRTO   time.Duration
+	MemPages int
+	NICRing  int
+}
+
+// Host is one mTCP machine.
+type Host struct {
+	eng    *sim.Engine
+	cfg    Config
+	nic    *nicsim.NIC
+	arp    *netstack.ARPTable
+	region *mem.Region
+	cores  []*mcore
+}
+
+// New builds an mTCP host. Attach NIC ports before Start.
+func New(eng *sim.Engine, cfg Config) *Host {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Cost == (cost.MTCP{}) {
+		cfg.Cost = cost.DefaultMTCP()
+	}
+	if cfg.MemPages <= 0 {
+		cfg.MemPages = 512
+	}
+	h := &Host{
+		eng:    eng,
+		cfg:    cfg,
+		arp:    netstack.NewARPTable(),
+		region: mem.NewRegion(cfg.MemPages),
+	}
+	h.nic = nicsim.New(eng, cfg.MAC, nicsim.Config{
+		Queues:   cfg.Cores,
+		RingSize: cfg.NICRing,
+	})
+	return h
+}
+
+// NIC returns the host NIC.
+func (h *Host) NIC() *nicsim.NIC { return h.nic }
+
+// ARP returns the host ARP table.
+func (h *Host) ARP() *netstack.ARPTable { return h.arp }
+
+// IP returns the host address.
+func (h *Host) IP() wire.IPv4 { return h.cfg.IP }
+
+// MAC returns the hardware address.
+func (h *Host) MAC() wire.MAC { return h.cfg.MAC }
+
+// Start spawns the per-core thread pairs.
+func (h *Host) Start() {
+	for i := 0; i < h.cfg.Cores; i++ {
+		h.cores = append(h.cores, newMcore(h, i))
+	}
+	for _, m := range h.cores {
+		m.handler = h.cfg.Factory(m.env(), m.id, h.cfg.Cores)
+		m.kickApp()
+	}
+}
+
+// Cores returns the core count.
+func (h *Host) Cores() int { return len(h.cores) }
+
+// ConnCount sums live connections.
+func (h *Host) ConnCount() int {
+	n := 0
+	for _, m := range h.cores {
+		n += m.ns.TCP().ConnCount()
+	}
+	return n
+}
+
+// mcore is one core pair: the mTCP TCP thread and its application thread.
+type mcore struct {
+	h    *Host
+	id   int
+	core *sim.Core
+
+	ns    *netstack.Stack
+	wheel *timerwheel.Wheel
+	pool  *mem.MbufPool
+	rxq   *nicsim.RxQueue
+	txq   *nicsim.TxQueue
+
+	handler app.Handler
+
+	// Event queue: TCP thread → app thread (batched).
+	evQ        []*mconn
+	appPending bool
+
+	// Job queue: app thread → TCP thread (batched writes/connects).
+	jobQ       []func()
+	tcpPending bool
+	tcpQueued  bool // a TCP round is scheduled right now
+
+	outFrames [][]byte
+	curMeter  *sim.Meter
+
+	timerWake *sim.Event
+}
+
+func newMcore(h *Host, id int) *mcore {
+	m := &mcore{
+		h:     h,
+		id:    id,
+		core:  sim.NewCore(h.eng, id),
+		pool:  mem.NewMbufPool(h.region, id),
+		wheel: timerwheel.New(timerwheel.DefaultTick, int64(h.eng.Now())),
+	}
+	m.rxq = h.nic.RxQueue(id)
+	m.txq = h.nic.TxQueue(id)
+	m.rxq.Mode = nicsim.ModePoll
+	m.rxq.OnFrame = m.wakeTCP
+	m.ns = netstack.New(netstack.Config{
+		LocalIP:   h.cfg.IP,
+		LocalMAC:  h.cfg.MAC,
+		Now:       func() int64 { return int64(h.eng.Now()) },
+		Wheel:     m.wheel,
+		SendFrame: func(f []byte) { m.outFrames = append(m.outFrames, f) },
+		Events:    (*mtcpEvents)(m),
+		ARP:       h.arp,
+		Seed:      h.cfg.Seed + uint64(id)*0x9e3779b97f4a7c15,
+		RcvWnd:    h.cfg.RcvWnd,
+		MinRTO:    h.cfg.MinRTO,
+		PortOK: func(p uint16, dst wire.IPv4, dport uint16) bool {
+			// mTCP also partitions flows per core (it splits the
+			// ephemeral port space by RSS, like IX).
+			ret := wire.FlowKey{SrcIP: dst, DstIP: h.cfg.IP, SrcPort: dport, DstPort: p, Proto: wire.ProtoTCP}
+			return h.nic.RSSQueue(ret) == id
+		},
+	})
+	return m
+}
+
+// wakeTCP schedules a TCP thread poll round (the TCP thread polls, so the
+// reaction to NIC arrivals is immediate).
+func (m *mcore) wakeTCP() {
+	if m.tcpQueued {
+		return
+	}
+	m.tcpQueued = true
+	m.core.Submit(sim.ClassTCPThread, m.tcpRound)
+}
+
+// tcpRound is one TCP-thread iteration: drain the job queue from the app,
+// process a packet batch, run timers, emit frames.
+func (m *mcore) tcpRound(meter *sim.Meter) {
+	m.tcpQueued = false
+	m.tcpPending = false
+	m.curMeter = meter
+	c := &m.h.cfg.Cost
+	meter.Charge(c.PollRound)
+
+	// Application jobs first (writes queued since last round).
+	jobs := m.jobQ
+	m.jobQ = nil
+	for _, j := range jobs {
+		meter.Charge(c.QueueOp)
+		j()
+	}
+
+	frames := m.rxq.Take(pollBatch)
+	m.rxq.PostDescriptors(len(frames))
+	miss := time.Duration(cost.MissesPerMsg(m.h.ConnCount()) * float64(c.L3Miss))
+	for _, f := range frames {
+		buf := m.pool.Alloc()
+		if buf == nil {
+			continue
+		}
+		buf.SetData(f.Data)
+		meter.Charge(c.ProtoRx + miss)
+		m.ns.Input(buf)
+		buf.Unref()
+	}
+	m.wheel.Advance(int64(m.h.eng.Now()))
+	// mTCP acks from the TCP thread, independent of the app.
+	m.ns.Flush()
+	m.curMeter = nil
+	out := m.outFrames
+	m.outFrames = nil
+	more := m.rxq.Len() > 0
+	meter.AtEnd(func() {
+		for _, f := range out {
+			m.txq.Post(f)
+		}
+		if more || m.tcpPending {
+			m.wakeTCP()
+		}
+		m.ensureTimerWake()
+		m.kickApp()
+	})
+}
+
+// queueJob hands work to the TCP thread; it runs after the batched
+// handoff interval (half the round trip of mTCP's added latency).
+func (m *mcore) queueJob(j func()) {
+	m.jobQ = append(m.jobQ, j)
+	if m.tcpQueued || m.tcpPending {
+		return
+	}
+	m.tcpPending = true
+	m.h.eng.After(m.h.cfg.Cost.HandoffInterval, m.wakeTCP)
+}
+
+// kickApp schedules an app round if events are waiting, after the
+// batched handoff interval (the other half of the added latency).
+func (m *mcore) kickApp() {
+	if m.appPending || len(m.evQ) == 0 {
+		return
+	}
+	m.appPending = true
+	m.h.eng.After(m.h.cfg.Cost.HandoffInterval, func() {
+		m.core.Submit(sim.ClassUser, m.appRound)
+	})
+}
+
+// appRound drains the event queue through the application handler.
+func (m *mcore) appRound(meter *sim.Meter) {
+	m.appPending = false
+	m.curMeter = meter
+	c := &m.h.cfg.Cost
+	for len(m.evQ) > 0 {
+		mc := m.evQ[0]
+		m.evQ = m.evQ[1:]
+		mc.inEvQ = false
+		meter.Charge(c.QueueOp)
+		m.dispatch(mc, meter)
+	}
+	m.curMeter = nil
+	meter.AtEnd(func() {
+		m.kickApp()
+		if len(m.jobQ) > 0 && !m.tcpPending && !m.tcpQueued {
+			m.tcpPending = true
+			m.h.eng.After(c.HandoffInterval, m.wakeTCP)
+		}
+	})
+}
+
+func (m *mcore) dispatch(mc *mconn, meter *sim.Meter) {
+	c := &m.h.cfg.Cost
+	if mc.acceptPending {
+		mc.acceptPending = false
+		meter.Charge(c.AppCall)
+		m.handler.OnAccept(mc)
+	}
+	if mc.connectedPending {
+		mc.connectedPending = false
+		meter.Charge(c.AppCall)
+		m.handler.OnConnected(mc, mc.connectedOK)
+		if !mc.connectedOK {
+			return
+		}
+	}
+	for len(mc.rcvbuf) > 0 {
+		chunk := mc.rcvbuf
+		mc.rcvbuf = nil
+		// mtcp_read: API call + copy into the app buffer.
+		meter.Charge(c.AppCall + c.CopyPerByte.Cost(len(chunk)))
+		mc.conn.RecvDone(len(chunk))
+		m.handler.OnRecv(mc, chunk)
+		if mc.dead {
+			return
+		}
+	}
+	if mc.sentPending > 0 {
+		n := mc.sentPending
+		mc.sentPending = 0
+		meter.Charge(c.AppCall)
+		m.handler.OnSent(mc, n)
+	}
+	if mc.eofPending {
+		mc.eofPending = false
+		m.handler.OnEOF(mc)
+	}
+	if mc.deadPending {
+		mc.deadPending = false
+		mc.dead = true
+		m.handler.OnClosed(mc)
+	}
+}
+
+// ensureTimerWake arranges the next retransmission tick.
+func (m *mcore) ensureTimerWake() {
+	nd, ok := m.wheel.NextDeadline()
+	if !ok {
+		return
+	}
+	at := sim.Time(nd)
+	if at < m.h.eng.Now() {
+		at = m.h.eng.Now()
+	}
+	if m.timerWake != nil {
+		if m.timerWake.At() <= at {
+			return
+		}
+		m.h.eng.Cancel(m.timerWake)
+	}
+	m.timerWake = m.h.eng.At(at, func() {
+		m.timerWake = nil
+		m.wakeTCP()
+	})
+}
+
+// env returns the app.Env for this core.
+func (m *mcore) env() app.Env { return (*menv)(m) }
+
+// menv implements app.Env.
+type menv mcore
+
+func (e *menv) m() *mcore { return (*mcore)(e) }
+
+func (e *menv) Now() int64  { return int64(e.h.eng.Now()) }
+func (e *menv) Thread() int { return e.id }
+
+func (e *menv) Charge(d time.Duration) {
+	if e.curMeter != nil {
+		e.curMeter.Charge(d)
+	}
+}
+
+// Elapsed returns CPU time charged in the current task.
+func (e *menv) Elapsed() time.Duration {
+	if e.curMeter != nil {
+		return e.curMeter.Elapsed()
+	}
+	return 0
+}
+
+func (e *menv) Listen(port uint16) error {
+	_, err := e.m().ns.TCP().Listen(port, nil)
+	return err
+}
+
+func (e *menv) After(d time.Duration, fn func()) {
+	m := e.m()
+	m.h.eng.After(d, func() {
+		m.core.Submit(sim.ClassUser, func(meter *sim.Meter) {
+			m.curMeter = meter
+			fn()
+			m.curMeter = nil
+			meter.AtEnd(func() {
+				m.kickApp()
+				if len(m.jobQ) > 0 && !m.tcpPending && !m.tcpQueued {
+					m.tcpPending = true
+					m.h.eng.After(m.h.cfg.Cost.HandoffInterval, m.wakeTCP)
+				}
+			})
+		})
+	})
+}
+
+func (e *menv) Connect(dst wire.IPv4, port uint16, cookie any) error {
+	m := e.m()
+	mc := &mconn{m: m, cookie: cookie}
+	m.queueJob(func() {
+		m.curMeter.Charge(m.h.cfg.Cost.ConnSetup)
+		conn, err := m.ns.TCP().Connect(dst, port, nil)
+		if err != nil {
+			mc.connectedPending = true
+			mc.connectedOK = false
+			mc.dead = true
+			m.enqueueEv(mc)
+			return
+		}
+		mc.conn = conn
+		conn.Cookie = mc
+	})
+	return nil
+}
+
+// enqueueEv queues a connection event for the app thread.
+func (m *mcore) enqueueEv(mc *mconn) {
+	if !mc.inEvQ {
+		mc.inEvQ = true
+		m.evQ = append(m.evQ, mc)
+	}
+	m.kickApp()
+}
+
+// mconn is an mTCP connection as the application sees it.
+type mconn struct {
+	m      *mcore
+	conn   *tcp.Conn
+	cookie any
+
+	rcvbuf []byte
+	sndbuf []byte
+
+	inEvQ            bool
+	acceptPending    bool
+	connectedPending bool
+	connectedOK      bool
+	sentPending      int
+	eofPending       bool
+	deadPending      bool
+	dead             bool
+}
+
+var _ app.Conn = (*mconn)(nil)
+
+// Send is mtcp_write: copy into the user-level send buffer and queue a
+// write job for the TCP thread.
+func (c *mconn) Send(b []byte) int {
+	if c.dead {
+		return 0
+	}
+	m := c.m
+	cc := &m.h.cfg.Cost
+	if m.curMeter != nil {
+		m.curMeter.Charge(cc.AppCall + cc.CopyPerByte.Cost(len(b)))
+	}
+	room := sndbufMax - len(c.sndbuf)
+	if room <= 0 {
+		return 0
+	}
+	if len(b) > room {
+		b = b[:room]
+	}
+	c.sndbuf = append(c.sndbuf, b...)
+	m.queueJob(c.flushSnd)
+	return len(b)
+}
+
+// flushSnd runs on the TCP thread.
+func (c *mconn) flushSnd() {
+	if len(c.sndbuf) == 0 || c.conn == nil || c.dead {
+		return
+	}
+	n := c.conn.Sendv([][]byte{c.sndbuf})
+	if n > 0 {
+		m := c.m
+		segs := (n + wire.MSS - 1) / wire.MSS
+		if m.curMeter != nil {
+			m.curMeter.ChargeN(segs, m.h.cfg.Cost.ProtoTx)
+		}
+		c.sndbuf = c.sndbuf[n:]
+		if len(c.sndbuf) == 0 {
+			c.sndbuf = nil
+		}
+	}
+}
+
+// Unsent reports user-level buffered bytes.
+func (c *mconn) Unsent() int { return len(c.sndbuf) }
+
+// Close queues an orderly close job.
+func (c *mconn) Close() {
+	if c.dead {
+		return
+	}
+	c.m.queueJob(func() {
+		if c.conn != nil {
+			c.conn.Close()
+		}
+	})
+}
+
+// Abort queues a RST close job.
+func (c *mconn) Abort() {
+	if c.dead {
+		return
+	}
+	c.m.queueJob(func() {
+		if c.conn != nil {
+			c.conn.Abort()
+		}
+	})
+}
+
+// Cookie returns the app tag.
+func (c *mconn) Cookie() any { return c.cookie }
+
+// SetCookie tags the connection.
+func (c *mconn) SetCookie(v any) { c.cookie = v }
+
+// mtcpEvents adapts TCP engine callbacks; methods run on the TCP thread.
+type mtcpEvents mcore
+
+func (me *mtcpEvents) m() *mcore { return (*mcore)(me) }
+
+func (me *mtcpEvents) Knock(l *tcp.Listener, key wire.FlowKey) bool { return true }
+
+func (me *mtcpEvents) Accepted(c *tcp.Conn) {
+	m := me.m()
+	mc := &mconn{m: m, conn: c, acceptPending: true}
+	c.Cookie = mc
+	m.enqueueEv(mc)
+}
+
+func (me *mtcpEvents) Connected(c *tcp.Conn, ok bool) {
+	m := me.m()
+	mc, _ := c.Cookie.(*mconn)
+	if mc == nil {
+		return
+	}
+	mc.connectedPending = true
+	mc.connectedOK = ok
+	if !ok {
+		mc.dead = true
+	}
+	m.enqueueEv(mc)
+}
+
+func (me *mtcpEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
+	m := me.m()
+	mc, _ := c.Cookie.(*mconn)
+	if mc == nil {
+		return
+	}
+	// Copy into the user-level receive buffer (mTCP's socket-like API
+	// is not zero-copy); the copy itself is charged at mtcp_read.
+	mc.rcvbuf = append(mc.rcvbuf, data...)
+	m.enqueueEv(mc)
+}
+
+func (me *mtcpEvents) Sent(c *tcp.Conn, acked int) {
+	m := me.m()
+	mc, _ := c.Cookie.(*mconn)
+	if mc == nil {
+		return
+	}
+	mc.flushSnd()
+	if acked > 0 && len(mc.sndbuf) > 0 {
+		mc.sentPending += acked
+		m.enqueueEv(mc)
+	}
+}
+
+func (me *mtcpEvents) RemoteClosed(c *tcp.Conn) {
+	m := me.m()
+	mc, _ := c.Cookie.(*mconn)
+	if mc == nil {
+		return
+	}
+	mc.eofPending = true
+	m.enqueueEv(mc)
+}
+
+func (me *mtcpEvents) Dead(c *tcp.Conn, reason tcp.Reason) {
+	m := me.m()
+	mc, _ := c.Cookie.(*mconn)
+	if mc == nil {
+		return
+	}
+	mc.deadPending = true
+	m.enqueueEv(mc)
+}

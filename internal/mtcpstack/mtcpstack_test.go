@@ -1,0 +1,84 @@
+package mtcpstack
+
+import (
+	"testing"
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/fabric"
+	"ix/internal/sim"
+	"ix/internal/wire"
+)
+
+type pingpong struct {
+	server bool
+	got    *[]byte
+	rtts   *[]time.Duration
+	env    app.Env
+	t0     int64
+}
+
+func (p *pingpong) OnAccept(c app.Conn) {}
+func (p *pingpong) OnConnected(c app.Conn, ok bool) {
+	if ok {
+		p.t0 = p.env.Now()
+		c.Send([]byte("ping"))
+	}
+}
+func (p *pingpong) OnRecv(c app.Conn, data []byte) {
+	*p.got = append(*p.got, data...)
+	if p.server {
+		c.Send(data)
+	} else if p.rtts != nil {
+		*p.rtts = append(*p.rtts, time.Duration(p.env.Now()-p.t0))
+		p.t0 = p.env.Now()
+		c.Send([]byte("ping"))
+	}
+}
+func (p *pingpong) OnSent(c app.Conn, n int) {}
+func (p *pingpong) OnEOF(c app.Conn)         { c.Close() }
+func (p *pingpong) OnClosed(c app.Conn)      {}
+
+// TestHandoffLatencyFloor: mTCP RPC latency is dominated by the batched
+// TCP-thread↔app-thread handoffs — roughly 4 handoffs per RTT.
+func TestHandoffLatencyFloor(t *testing.T) {
+	eng := sim.NewEngine(4)
+	var srvGot []byte
+	var rtts []time.Duration
+	srv := New(eng, Config{
+		Name: "s", IP: wire.Addr4(10, 0, 0, 2), MAC: wire.MAC{2, 0, 0, 0, 0, 2}, Cores: 1,
+		Factory: func(env app.Env, th, n int) app.Handler {
+			_ = env.Listen(80)
+			return &pingpong{server: true, got: &srvGot, env: env}
+		},
+	})
+	var cliGot []byte
+	cli := New(eng, Config{
+		Name: "c", IP: wire.Addr4(10, 0, 0, 1), MAC: wire.MAC{2, 0, 0, 0, 0, 1}, Cores: 1,
+		Factory: func(env app.Env, th, n int) app.Handler {
+			p := &pingpong{got: &cliGot, rtts: &rtts, env: env}
+			_ = env.Connect(wire.Addr4(10, 0, 0, 2), 80, nil)
+			return p
+		},
+	})
+	link := fabric.NewLink(eng, 10*fabric.Gbps, time.Microsecond)
+	srv.NIC().AttachPort(link.Port(0))
+	cli.NIC().AttachPort(link.Port(1))
+	srv.ARP().Learn(cli.IP(), cli.MAC())
+	cli.ARP().Learn(srv.IP(), srv.MAC())
+	srv.Start()
+	cli.Start()
+	eng.RunUntil(sim.Time(20 * time.Millisecond))
+	if len(rtts) < 10 {
+		t.Fatalf("only %d RPCs completed", len(rtts))
+	}
+	// 4 handoffs of 23µs each ≈ 92µs floor + wire + processing.
+	avg := time.Duration(0)
+	for _, r := range rtts {
+		avg += r
+	}
+	avg /= time.Duration(len(rtts))
+	if avg < 80*time.Microsecond || avg > 160*time.Microsecond {
+		t.Fatalf("mTCP RPC RTT = %v, want ~100µs (handoff-dominated)", avg)
+	}
+}

@@ -1,0 +1,401 @@
+// Package mutilate reproduces the measurement methodology of §5.5: a
+// distributed load generator that coordinates many client threads to
+// place a selected load (requests per second) on a memcached server,
+// while one separate, unloaded agent issues one request at a time to
+// measure response latency. Clients may pipeline up to four requests per
+// connection to sustain their target rate, exactly as the paper permits.
+//
+// Two Facebook-derived workloads are provided (Atikoglu et al.,
+// SIGMETRICS '12): ETC (20–70 B keys, 1 B–1 KB values, 75% GETs) and USR
+// (<20 B keys, 2 B values, 99% GETs — nearly all minimum-size packets).
+package mutilate
+
+import (
+	"strconv"
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/apps/memcached"
+	"ix/internal/stats"
+	"ix/internal/wire"
+)
+
+// Workload describes key/value sizes and the GET fraction.
+type Workload struct {
+	Name           string
+	KeyMin, KeyMax int
+	ValMin, ValMax int
+	GetFrac        float64
+	// Keys is the keyspace size.
+	Keys int
+}
+
+// ETC is Facebook's highest-capacity deployment: 20–70 B keys, 1 B–1 KB
+// values, 75% GET.
+var ETC = Workload{Name: "ETC", KeyMin: 20, KeyMax: 70, ValMin: 1, ValMax: 1024, GetFrac: 0.75, Keys: 8192}
+
+// USR is the GET-dominated deployment: short keys, 2 B values, 99% GET;
+// almost all traffic is minimum-sized TCP packets.
+var USR = Workload{Name: "USR", KeyMin: 8, KeyMax: 19, ValMin: 2, ValMax: 2, GetFrac: 0.99, Keys: 8192}
+
+// KeyFor builds the deterministic key for index i: digits then 'k'
+// padding up to the workload's length for that index.
+func (w Workload) KeyFor(i int) string {
+	ln := w.KeyMin
+	if w.KeyMax > w.KeyMin {
+		ln += i % (w.KeyMax - w.KeyMin + 1)
+	}
+	s := strconv.Itoa(i)
+	if len(s) >= ln {
+		return s
+	}
+	b := make([]byte, ln)
+	copy(b, s)
+	for j := len(s); j < ln; j++ {
+		b[j] = 'k'
+	}
+	return string(b)
+}
+
+// ValFor builds the deterministic value for index i.
+func (w Workload) ValFor(i int) []byte {
+	ln := w.ValMin
+	if w.ValMax > w.ValMin {
+		// Log-skewed sizes: most values small, a tail of large ones.
+		span := w.ValMax - w.ValMin
+		x := (i*2654435761 + 12345) & 0xffff
+		frac := float64(x) / 65536.0
+		frac = frac * frac // square to skew small
+		ln += int(frac * float64(span))
+	}
+	v := make([]byte, ln)
+	for j := range v {
+		v[j] = byte('a' + (i+j)%26)
+	}
+	return v
+}
+
+// Preload installs the full keyspace into a store (done out-of-band
+// before measurement, as mutilate's loadonly pass does).
+func Preload(store *memcached.Store, w Workload) {
+	for i := 0; i < w.Keys; i++ {
+		store.SetDirect(w.KeyFor(i), w.ValFor(i))
+	}
+}
+
+// Metrics aggregates results across all load threads and the agent.
+type Metrics struct {
+	// Responses counts completed requests on load connections.
+	Responses stats.Counter
+	// AgentLatency is the unloaded agent's response-time histogram —
+	// the latency the paper reports.
+	AgentLatency *stats.Histogram
+	// LoadLatency is response time seen by loaded connections.
+	LoadLatency *stats.Histogram
+	// Dropped counts requests skipped because all pipelines were full
+	// (target unreachable).
+	Dropped stats.Counter
+	Running bool
+}
+
+// NewMetrics returns a metrics sink with Running set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		AgentLatency: stats.NewHistogram(),
+		LoadLatency:  stats.NewHistogram(),
+		Running:      true,
+	}
+}
+
+// ResetWindow begins a measurement window.
+func (m *Metrics) ResetWindow() {
+	m.Responses.Reset()
+	m.Dropped.Reset()
+	m.AgentLatency.Reset()
+	m.LoadLatency.Reset()
+}
+
+// LoadConfig parameterizes load-generating threads.
+type LoadConfig struct {
+	ServerIP wire.IPv4
+	Port     uint16
+	Workload Workload
+	// Conns is connections per client thread.
+	Conns int
+	// TargetRPS is this thread's share of the offered load.
+	TargetRPS float64
+	// Pipeline is the max outstanding requests per connection (§5.5
+	// allows up to 4).
+	Pipeline int
+	Metrics  *Metrics
+	Seed     uint64
+}
+
+// pending is one outstanding request.
+type pending struct {
+	t0  int64
+	get bool
+}
+
+// lconn is per-connection client state.
+type lconn struct {
+	q   []pending
+	buf []byte
+}
+
+type loadgen struct {
+	env   app.Env
+	cfg   LoadConfig
+	conns []app.Conn
+	rng   uint64
+	// pacing
+	budget  float64
+	next    int // round-robin cursor
+	appCost time.Duration
+}
+
+// clientReqCost is the client-side CPU per request (build + parse).
+const clientReqCost = 900 * time.Nanosecond
+
+// tick is the pacing quantum.
+const tick = 100 * time.Microsecond
+
+// LoadFactory builds load-generator threads.
+func LoadFactory(cfg LoadConfig) app.Factory {
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 4
+	}
+	return func(env app.Env, thread, threads int) app.Handler {
+		g := &loadgen{env: env, cfg: cfg, rng: cfg.Seed ^ (uint64(thread)+1)*0x9e3779b97f4a7c15}
+		for i := 0; i < cfg.Conns; i++ {
+			_ = env.Connect(cfg.ServerIP, cfg.Port, nil)
+		}
+		// Stagger thread phases so independent generators don't tick in
+		// lock-step (synchronized bursts would inflate tails).
+		stagger := time.Duration(g.rand() % uint64(tick))
+		env.After(tick+stagger, g.pace)
+		return g
+	}
+}
+
+func (g *loadgen) rand() uint64 {
+	g.rng ^= g.rng << 13
+	g.rng ^= g.rng >> 7
+	g.rng ^= g.rng << 17
+	return g.rng
+}
+
+// pace issues this tick's request budget across connections.
+func (g *loadgen) pace() {
+	m := g.cfg.Metrics
+	if !m.Running {
+		return
+	}
+	g.budget += g.cfg.TargetRPS * tick.Seconds()
+	issued := 0
+	tries := 0
+	for g.budget >= 1 && len(g.conns) > 0 && tries < 2*len(g.conns) {
+		c := g.conns[g.next%len(g.conns)]
+		g.next++
+		tries++
+		st := c.Cookie().(*lconn)
+		if len(st.q) >= g.cfg.Pipeline {
+			continue
+		}
+		g.issue(c, st)
+		g.budget--
+		issued++
+		tries = 0
+	}
+	if g.budget >= 1 {
+		// All pipelines full: the offered load exceeds capacity.
+		m.Dropped.Add(uint64(g.budget))
+		g.budget = 0
+	}
+	g.env.After(tick, g.pace)
+}
+
+// issue sends one randomized request on c.
+func (g *loadgen) issue(c app.Conn, st *lconn) {
+	w := g.cfg.Workload
+	i := int(g.rand() % uint64(w.Keys))
+	get := float64(g.rand()%10000)/10000.0 < w.GetFrac
+	g.env.Charge(clientReqCost)
+	if get {
+		c.Send(memcached.FormatGet(w.KeyFor(i)))
+	} else {
+		c.Send(memcached.FormatSet(w.KeyFor(i), w.ValFor(i)))
+	}
+	st.q = append(st.q, pending{t0: g.env.Now(), get: get})
+}
+
+func (g *loadgen) OnAccept(c app.Conn) {}
+
+func (g *loadgen) OnConnected(c app.Conn, ok bool) {
+	if !ok {
+		return
+	}
+	c.SetCookie(&lconn{})
+	g.conns = append(g.conns, c)
+}
+
+func (g *loadgen) OnRecv(c app.Conn, data []byte) {
+	st, _ := c.Cookie().(*lconn)
+	if st == nil {
+		return
+	}
+	st.buf = append(st.buf, data...)
+	for len(st.q) > 0 {
+		n := consumeResponse(st.buf, st.q[0].get)
+		if n == 0 {
+			break
+		}
+		g.env.Charge(clientReqCost / 2)
+		m := g.cfg.Metrics
+		m.Responses.Inc()
+		m.LoadLatency.Record(time.Duration(g.env.Now() - st.q[0].t0))
+		st.buf = st.buf[n:]
+		st.q = st.q[1:]
+	}
+	if len(st.buf) == 0 {
+		st.buf = nil
+	}
+}
+
+func (g *loadgen) OnSent(c app.Conn, n int) {}
+func (g *loadgen) OnEOF(c app.Conn)         { c.Close() }
+func (g *loadgen) OnClosed(c app.Conn)      {}
+
+// AgentConfig parameterizes the unloaded latency agent.
+type AgentConfig struct {
+	ServerIP wire.IPv4
+	Port     uint16
+	Workload Workload
+	Metrics  *Metrics
+	Seed     uint64
+}
+
+// AgentFactory builds the unloaded latency-sampling agent: one
+// connection, one outstanding GET at a time.
+func AgentFactory(cfg AgentConfig) app.Factory {
+	return func(env app.Env, thread, threads int) app.Handler {
+		if thread != 0 {
+			return nopHandler{}
+		}
+		a := &agent{env: env, cfg: cfg, rng: cfg.Seed | 1}
+		_ = env.Connect(cfg.ServerIP, cfg.Port, nil)
+		return a
+	}
+}
+
+type agent struct {
+	env app.Env
+	cfg AgentConfig
+	rng uint64
+	t0  int64
+	buf []byte
+}
+
+func (a *agent) rand() uint64 {
+	a.rng ^= a.rng << 13
+	a.rng ^= a.rng >> 7
+	a.rng ^= a.rng << 17
+	return a.rng
+}
+
+func (a *agent) issue(c app.Conn) {
+	w := a.cfg.Workload
+	a.t0 = a.env.Now()
+	a.env.Charge(clientReqCost)
+	c.Send(memcached.FormatGet(w.KeyFor(int(a.rand() % uint64(w.Keys)))))
+}
+
+func (a *agent) OnAccept(c app.Conn) {}
+
+func (a *agent) OnConnected(c app.Conn, ok bool) {
+	if ok {
+		a.issue(c)
+	}
+}
+
+func (a *agent) OnRecv(c app.Conn, data []byte) {
+	a.buf = append(a.buf, data...)
+	n := consumeResponse(a.buf, true)
+	if n == 0 {
+		return
+	}
+	a.buf = a.buf[n:]
+	if len(a.buf) == 0 {
+		a.buf = nil
+	}
+	a.cfg.Metrics.AgentLatency.Record(time.Duration(a.env.Now() - a.t0))
+	if a.cfg.Metrics.Running {
+		a.issue(c)
+	}
+}
+
+func (a *agent) OnSent(c app.Conn, n int) {}
+func (a *agent) OnEOF(c app.Conn)         { c.Close() }
+func (a *agent) OnClosed(c app.Conn)      {}
+
+type nopHandler struct{}
+
+func (nopHandler) OnAccept(app.Conn)          {}
+func (nopHandler) OnConnected(app.Conn, bool) {}
+func (nopHandler) OnRecv(app.Conn, []byte)    {}
+func (nopHandler) OnSent(app.Conn, int)       {}
+func (nopHandler) OnEOF(app.Conn)             {}
+func (nopHandler) OnClosed(app.Conn)          {}
+
+// consumeResponse returns the byte length of one complete memcached
+// response at the front of buf, or 0 if incomplete. get selects the
+// expected response family.
+func consumeResponse(buf []byte, get bool) int {
+	if !get {
+		// STORED\r\n (or an error line)
+		return lineLen(buf)
+	}
+	// Either "END\r\n" (miss) or "VALUE k f n\r\n<data>\r\nEND\r\n".
+	nl := lineLen(buf)
+	if nl == 0 {
+		return 0
+	}
+	line := buf[:nl-2]
+	if len(line) >= 3 && string(line[:3]) == "END" {
+		return nl
+	}
+	if len(line) > 6 && string(line[:6]) == "VALUE " {
+		// Parse the byte count (last space-separated field).
+		last := -1
+		for i := len(line) - 1; i >= 0; i-- {
+			if line[i] == ' ' {
+				last = i
+				break
+			}
+		}
+		if last < 0 {
+			return nl
+		}
+		n, err := strconv.Atoi(string(line[last+1:]))
+		if err != nil {
+			return nl
+		}
+		total := nl + n + 2 + 5 // data + \r\n + END\r\n
+		if len(buf) < total {
+			return 0
+		}
+		return total
+	}
+	return nl
+}
+
+// lineLen returns the length of the first CRLF-terminated line including
+// the CRLF, or 0.
+func lineLen(buf []byte) int {
+	for i := 0; i+1 < len(buf); i++ {
+		if buf[i] == '\r' && buf[i+1] == '\n' {
+			return i + 2
+		}
+	}
+	return 0
+}

@@ -1,0 +1,92 @@
+package mutilate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ix/internal/apps/memcached"
+)
+
+func TestWorkloadShapes(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		k := ETC.KeyFor(i)
+		if len(k) < ETC.KeyMin || len(k) > ETC.KeyMax {
+			t.Fatalf("ETC key %q length %d outside [%d,%d]", k, len(k), ETC.KeyMin, ETC.KeyMax)
+		}
+		v := ETC.ValFor(i)
+		if len(v) < ETC.ValMin || len(v) > ETC.ValMax {
+			t.Fatalf("ETC val length %d outside range", len(v))
+		}
+		uk := USR.KeyFor(i)
+		if len(uk) >= 20 {
+			t.Fatalf("USR key %q not short", uk)
+		}
+		if len(USR.ValFor(i)) != 2 {
+			t.Fatal("USR values must be 2 bytes")
+		}
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if ETC.KeyFor(i) != ETC.KeyFor(i) || string(ETC.ValFor(i)) != string(ETC.ValFor(i)) {
+			t.Fatal("workload generation not deterministic")
+		}
+	}
+}
+
+func TestPreload(t *testing.T) {
+	st := memcached.NewStore(256 << 20)
+	Preload(st, USR)
+	if st.Len() != USR.Keys {
+		t.Fatalf("preloaded %d keys, want %d", st.Len(), USR.Keys)
+	}
+}
+
+func TestConsumeResponse(t *testing.T) {
+	cases := []struct {
+		buf  string
+		get  bool
+		want int
+	}{
+		{"STORED\r\n", false, 8},
+		{"END\r\n", true, 5},
+		{"VALUE key 0 5\r\nhello\r\nEND\r\n", true, 27},
+		{"VALUE key 0 5\r\nhel", true, 0}, // incomplete body
+		{"VALUE key 0 5\r", true, 0},      // incomplete header
+		{"STOR", false, 0},                // incomplete line
+	}
+	for _, c := range cases {
+		if got := consumeResponse([]byte(c.buf), c.get); got != c.want {
+			t.Errorf("consumeResponse(%q, get=%v) = %d, want %d", c.buf, c.get, got, c.want)
+		}
+	}
+}
+
+// TestConsumeResponseRoundTrip: a rendered GET hit response is consumed
+// exactly, for arbitrary values.
+func TestConsumeResponseRoundTrip(t *testing.T) {
+	f := func(val []byte) bool {
+		resp := []byte("VALUE k 0 ")
+		resp = append(resp, []byte(itoa(len(val)))...)
+		resp = append(resp, '\r', '\n')
+		resp = append(resp, val...)
+		resp = append(resp, []byte("\r\nEND\r\n")...)
+		return consumeResponse(resp, true) == len(resp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

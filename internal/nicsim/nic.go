@@ -1,0 +1,354 @@
+// Package nicsim models a multi-queue 10 GbE NIC in the mold of the Intel
+// 82599 that IX requires: per-queue RX/TX descriptor rings, receive-side
+// scaling via a real Toeplitz hash and a 128-entry redirection table
+// (RETA), interrupt moderation (ITR), and the PCIe descriptor-doorbell
+// behaviour whose coalescing the paper discusses in §6. A NIC may own
+// several physical ports (the bonded 4x10GbE server configuration);
+// transmit picks the member port by flow hash so a flow's frames stay
+// ordered.
+package nicsim
+
+import (
+	"time"
+
+	"ix/internal/fabric"
+	"ix/internal/sim"
+	"ix/internal/wire"
+)
+
+// RetaSize is the 82599's redirection table size.
+const RetaSize = 128
+
+// DefaultRingSize is the default RX/TX descriptor ring depth.
+const DefaultRingSize = 512
+
+// Config parameterizes a NIC.
+type Config struct {
+	// Queues is the number of RX/TX queue pairs (one per hardware
+	// thread in IX).
+	Queues int
+	// RingSize is the descriptor ring depth per queue.
+	RingSize int
+	// ITR is the interrupt throttle interval: a queue in interrupt mode
+	// raises at most one interrupt per ITR. Zero means no moderation.
+	ITR time.Duration
+}
+
+// QueueMode selects how a queue signals the OS.
+type QueueMode int
+
+// Queue signalling modes.
+const (
+	// ModePoll delivers no interrupts; the OS polls (IX dataplane).
+	ModePoll QueueMode = iota
+	// ModeInterrupt raises moderated interrupts (Linux NAPI).
+	ModeInterrupt
+)
+
+// RxQueue is one receive queue: a descriptor ring holding received frames
+// until the OS consumes them.
+type RxQueue struct {
+	nic *NIC
+	ID  int
+
+	ring     []*fabric.Frame
+	ringSize int
+	// descAvail is the number of posted (free) receive descriptors.
+	// When it reaches zero, arriving frames are dropped — exactly the
+	// "queues build up only at the NIC edge" behaviour of §3.
+	descAvail int
+
+	Mode QueueMode
+	// OnFrame is called (in poll mode) whenever a frame lands in an
+	// empty ring, so an idle elastic thread can wake. May be nil.
+	OnFrame func()
+	// OnInterrupt is the interrupt handler (interrupt mode).
+	OnInterrupt func()
+
+	intrArmed   bool // interrupts enabled (NAPI re-enables after poll)
+	intrPending bool
+	lastIntr    sim.Time
+
+	// Stats.
+	RxFrames uint64
+	RxDrops  uint64
+}
+
+// Len returns the number of frames waiting in the ring.
+func (q *RxQueue) Len() int { return len(q.ring) }
+
+// DescAvail returns the number of posted free descriptors.
+func (q *RxQueue) DescAvail() int { return q.descAvail }
+
+// PostDescriptors replenishes n receive descriptors (bounded by ring
+// size). Each call models one PCIe doorbell write; the caller charges its
+// cost. Returns the number actually posted.
+func (q *RxQueue) PostDescriptors(n int) int {
+	room := q.ringSize - q.descAvail - len(q.ring)
+	if n > room {
+		n = room
+	}
+	if n > 0 {
+		q.descAvail += n
+	}
+	return n
+}
+
+// Take removes up to n frames from the ring (the poll step (1) of the
+// run-to-completion cycle, or a NAPI budget-bounded poll).
+func (q *RxQueue) Take(n int) []*fabric.Frame {
+	if n > len(q.ring) {
+		n = len(q.ring)
+	}
+	out := q.ring[:n:n]
+	q.ring = q.ring[n:]
+	return out
+}
+
+// EnableInterrupt arms the queue's interrupt (NAPI completion).
+func (q *RxQueue) EnableInterrupt() {
+	q.intrArmed = true
+	if len(q.ring) > 0 {
+		q.fireInterrupt()
+	}
+}
+
+// DisableInterrupt masks the queue's interrupt (NAPI poll start).
+func (q *RxQueue) DisableInterrupt() { q.intrArmed = false }
+
+func (q *RxQueue) deliver(f *fabric.Frame) {
+	if q.descAvail <= 0 || len(q.ring) >= q.ringSize {
+		q.RxDrops++
+		q.nic.RxDrops++
+		return
+	}
+	q.descAvail--
+	q.ring = append(q.ring, f)
+	q.RxFrames++
+	q.nic.RxFrames++
+	switch q.Mode {
+	case ModePoll:
+		if len(q.ring) == 1 && q.OnFrame != nil {
+			q.OnFrame()
+		}
+	case ModeInterrupt:
+		if q.intrArmed {
+			q.fireInterrupt()
+		}
+	}
+}
+
+// fireInterrupt schedules the handler respecting interrupt moderation.
+func (q *RxQueue) fireInterrupt() {
+	if q.intrPending || q.OnInterrupt == nil {
+		return
+	}
+	q.intrPending = true
+	now := q.nic.eng.Now()
+	at := now
+	if q.nic.cfg.ITR > 0 {
+		earliest := q.lastIntr.Add(q.nic.cfg.ITR)
+		if earliest > at {
+			at = earliest
+		}
+	}
+	q.nic.eng.At(at, func() {
+		q.intrPending = false
+		q.lastIntr = q.nic.eng.Now()
+		q.nic.Interrupts++
+		q.OnInterrupt()
+	})
+}
+
+// TxQueue is one transmit descriptor ring. Frames posted here are DMA'd
+// to a port at line rate; completion returns descriptors.
+type TxQueue struct {
+	nic *NIC
+	ID  int
+
+	inFlight int
+	ringSize int
+
+	// OnComplete, if set, is called when a posted frame has left the
+	// wire (descriptor writeback); IX uses it to free mbufs in the
+	// separate completion pass of cycle step (6).
+	OnComplete func(n int)
+
+	TxFrames uint64
+	TxDrops  uint64
+}
+
+// Post places a frame on the TX ring. It reports false (dropping the
+// frame) if the ring is full — transmit queue starvation, which IX's
+// bounded batching is designed to avoid.
+func (t *TxQueue) Post(data []byte) bool {
+	if t.inFlight >= t.ringSize {
+		t.TxDrops++
+		return false
+	}
+	t.inFlight++
+	t.TxFrames++
+	n := t.nic
+	port := n.txPort(data)
+	port.Send(data)
+	// Completion when serialization finishes.
+	n.eng.At(port.Busy(), func() {
+		t.inFlight--
+		if t.OnComplete != nil {
+			t.OnComplete(1)
+		}
+	})
+	return true
+}
+
+// InFlight returns the number of un-completed descriptors.
+func (t *TxQueue) InFlight() int { return t.inFlight }
+
+// NIC is the device: queues, RSS state, and its physical ports.
+type NIC struct {
+	eng *sim.Engine
+	MAC wire.MAC
+	cfg Config
+
+	ports []*fabric.Port
+	rx    []*RxQueue
+	tx    []*TxQueue
+
+	rssKey [40]byte
+	reta   [RetaSize]uint8
+
+	// Stats.
+	RxFrames   uint64
+	RxDrops    uint64
+	Interrupts uint64
+}
+
+// New creates a NIC with the given MAC and configuration.
+func New(eng *sim.Engine, mac wire.MAC, cfg Config) *NIC {
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	n := &NIC{eng: eng, MAC: mac, cfg: cfg, rssKey: DefaultRSSKey}
+	for i := 0; i < cfg.Queues; i++ {
+		rq := &RxQueue{nic: n, ID: i, ringSize: cfg.RingSize}
+		rq.descAvail = cfg.RingSize
+		n.rx = append(n.rx, rq)
+		n.tx = append(n.tx, &TxQueue{nic: n, ID: i, ringSize: cfg.RingSize})
+	}
+	// Default RETA: round-robin across all queues.
+	for i := 0; i < RetaSize; i++ {
+		n.reta[i] = uint8(i % cfg.Queues)
+	}
+	return n
+}
+
+// AttachPort connects a physical port (one side of a link) to the NIC.
+func (n *NIC) AttachPort(p *fabric.Port) {
+	p.Attach(n)
+	n.ports = append(n.ports, p)
+}
+
+// Ports returns the number of attached physical ports.
+func (n *NIC) Ports() int { return len(n.ports) }
+
+// RxQueue returns receive queue i.
+func (n *NIC) RxQueue(i int) *RxQueue { return n.rx[i] }
+
+// TxQueue returns transmit queue i.
+func (n *NIC) TxQueue(i int) *TxQueue { return n.tx[i] }
+
+// Queues returns the number of queue pairs.
+func (n *NIC) Queues() int { return n.cfg.Queues }
+
+// SetRETA programs the redirection table: entry i directs hash bucket i to
+// the given queue. Used by the control plane to rebalance flow groups when
+// elastic threads are added or removed.
+func (n *NIC) SetRETA(reta [RetaSize]uint8) {
+	for _, q := range reta {
+		if int(q) >= n.cfg.Queues {
+			panic("nicsim: RETA entry references nonexistent queue")
+		}
+	}
+	n.reta = reta
+}
+
+// RETA returns the current redirection table.
+func (n *NIC) RETA() [RetaSize]uint8 { return n.reta }
+
+// SpreadRETA programs the table to spread buckets round-robin over queues
+// [0, active).
+func (n *NIC) SpreadRETA(active int) {
+	if active <= 0 {
+		active = 1
+	}
+	if active > n.cfg.Queues {
+		active = n.cfg.Queues
+	}
+	var r [RetaSize]uint8
+	for i := 0; i < RetaSize; i++ {
+		r[i] = uint8(i % active)
+	}
+	n.reta = r
+}
+
+// RSSQueue returns the queue the NIC would select for a flow — used both
+// by delivery and by client stacks that probe ephemeral ports so replies
+// land on the connecting thread's queue (§4.4).
+func (n *NIC) RSSQueue(k wire.FlowKey) int {
+	h := RSSHash(n.rssKey[:], k)
+	return int(n.reta[h&(RetaSize-1)])
+}
+
+// Deliver implements fabric.Endpoint: frame arrival from any member port.
+func (n *NIC) Deliver(f *fabric.Frame) {
+	q := n.classify(f.Data)
+	n.rx[q].deliver(f)
+}
+
+// classify picks the RX queue for a frame: RSS for TCP/UDP over IPv4,
+// queue 0 for everything else (ARP, ICMP) — matching hardware defaults.
+func (n *NIC) classify(data []byte) int {
+	var eth wire.EthHeader
+	if eth.Unmarshal(data) != nil || eth.EtherType != wire.EtherTypeIPv4 {
+		return 0
+	}
+	ip := data[wire.EthHdrLen:]
+	var iph wire.IPv4Header
+	if iph.Unmarshal(ip) != nil {
+		return 0
+	}
+	if iph.Proto != wire.ProtoTCP && iph.Proto != wire.ProtoUDP {
+		return 0
+	}
+	tr := ip[wire.IPv4HdrLen:]
+	if len(tr) < 4 {
+		return 0
+	}
+	k := wire.FlowKey{
+		SrcIP:   iph.Src,
+		DstIP:   iph.Dst,
+		SrcPort: uint16(tr[0])<<8 | uint16(tr[1]),
+		DstPort: uint16(tr[2])<<8 | uint16(tr[3]),
+		Proto:   iph.Proto,
+	}
+	return n.RSSQueue(k)
+}
+
+// txPort selects the member port for an outgoing frame: the only port for
+// single-port NICs, otherwise by L3+L4 flow hash so each flow stays on one
+// member (mirroring the switch-side bond hash).
+func (n *NIC) txPort(data []byte) *fabric.Port {
+	if len(n.ports) == 0 {
+		panic("nicsim: NIC has no ports")
+	}
+	if len(n.ports) == 1 {
+		return n.ports[0]
+	}
+	q := n.classify(data)
+	// Spread flows over member ports using the RSS hash of the frame,
+	// keeping per-flow ordering.
+	return n.ports[q%len(n.ports)]
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"time"
+)
+
+// A Meter accumulates the virtual CPU cost of a task as it executes, and
+// collects actions to release when the task's virtual time window ends
+// (e.g. frames to place on a NIC ring at the end of a run-to-completion
+// cycle). Task logic runs instantaneously in host time at the task's
+// virtual start; the meter determines when the core becomes free and when
+// the task's externally visible outputs appear.
+type Meter struct {
+	total time.Duration
+	atEnd []func()
+	start Time
+}
+
+// Charge adds d of virtual CPU time to the task.
+func (m *Meter) Charge(d time.Duration) {
+	if d > 0 {
+		m.total += d
+	}
+}
+
+// ChargeN adds n×d of virtual CPU time.
+func (m *Meter) ChargeN(n int, d time.Duration) {
+	if n > 0 && d > 0 {
+		m.total += time.Duration(n) * d
+	}
+}
+
+// Elapsed returns the cost charged so far.
+func (m *Meter) Elapsed() time.Duration { return m.total }
+
+// Start returns the virtual time at which the task began executing.
+func (m *Meter) Start() Time { return m.start }
+
+// AtEnd registers fn to run at the task's virtual end time, after all cost
+// has been charged. Registered functions run in order.
+func (m *Meter) AtEnd(fn func()) { m.atEnd = append(m.atEnd, fn) }
+
+// TaskClass labels work so cores can charge a context-switch penalty when
+// switching between classes (e.g. Linux softirq vs. application thread).
+type TaskClass int
+
+// Task classes used by the OS architecture models.
+const (
+	ClassDataplane TaskClass = iota // IX elastic thread cycle
+	ClassKernel                     // Linux hardirq/softirq work
+	ClassUser                       // application thread work
+	ClassTCPThread                  // mTCP per-core TCP thread
+)
+
+type coreTask struct {
+	class TaskClass
+	fn    func(*Meter)
+	ready Time // earliest virtual start
+}
+
+// A Core models one hardware thread. Tasks submitted to a core run
+// serially; each task's virtual duration is whatever its function charges
+// to the Meter. Cores track utilization for the kernel-time/user-time
+// breakdowns reported in the paper's §5.5.
+type Core struct {
+	Eng *Engine
+	ID  int
+
+	// CtxSwitch is charged when consecutive tasks have different classes
+	// (thread switch on a shared core). Zero for dedicated-core models.
+	CtxSwitch time.Duration
+
+	busy      bool
+	freeAt    Time
+	lastClass TaskClass
+	queue     []coreTask
+
+	// Utilization accounting, by class.
+	BusyTime  map[TaskClass]time.Duration
+	statStart Time
+}
+
+// NewCore returns an idle core attached to eng.
+func NewCore(eng *Engine, id int) *Core {
+	return &Core{Eng: eng, ID: id, lastClass: -1, BusyTime: make(map[TaskClass]time.Duration)}
+}
+
+// Submit enqueues fn on the core with the given class. The task starts as
+// soon as the core is free (FIFO, no preemption).
+func (c *Core) Submit(class TaskClass, fn func(*Meter)) {
+	c.SubmitAfter(0, class, fn)
+}
+
+// SubmitAfter enqueues fn but prevents it from starting earlier than delay
+// from now, modelling e.g. scheduler wakeup latency for a blocked thread.
+func (c *Core) SubmitAfter(delay time.Duration, class TaskClass, fn func(*Meter)) {
+	t := coreTask{class: class, fn: fn, ready: c.Eng.Now().Add(delay)}
+	c.queue = append(c.queue, t)
+	if !c.busy {
+		c.dispatch()
+	}
+}
+
+// dispatch starts the next runnable task. Called when the core is idle.
+func (c *Core) dispatch() {
+	if len(c.queue) == 0 {
+		return
+	}
+	t := c.queue[0]
+	c.queue = c.queue[1:]
+	start := c.Eng.Now()
+	if t.ready > start {
+		start = t.ready
+	}
+	c.busy = true
+	c.Eng.At(start, func() { c.runTask(t) })
+}
+
+func (c *Core) runTask(t coreTask) {
+	m := &Meter{start: c.Eng.Now()}
+	if c.lastClass >= 0 && c.lastClass != t.class && c.CtxSwitch > 0 {
+		m.Charge(c.CtxSwitch)
+	}
+	c.lastClass = t.class
+	t.fn(m)
+	end := c.Eng.Now().Add(m.total)
+	c.freeAt = end
+	c.BusyTime[t.class] += m.total
+	c.Eng.At(end, func() {
+		for _, fn := range m.atEnd {
+			fn()
+		}
+		c.busy = false
+		c.dispatch()
+	})
+}
+
+// Busy reports whether the core is currently executing or has queued work.
+func (c *Core) Busy() bool { return c.busy || len(c.queue) > 0 }
+
+// QueueLen reports the number of tasks waiting (not including the running
+// one).
+func (c *Core) QueueLen() int { return len(c.queue) }
+
+// ResetStats zeroes utilization counters and marks the measurement epoch.
+func (c *Core) ResetStats() {
+	c.BusyTime = make(map[TaskClass]time.Duration)
+	c.statStart = c.Eng.Now()
+}
+
+// Utilization returns the fraction of time since ResetStats the core spent
+// in each class, and the total busy fraction. Returns zeros before any
+// time has passed.
+func (c *Core) Utilization() (byClass map[TaskClass]float64, total float64) {
+	elapsed := c.Eng.Now().Sub(c.statStart)
+	byClass = make(map[TaskClass]float64)
+	if elapsed <= 0 {
+		return byClass, 0
+	}
+	var busy time.Duration
+	for cl, d := range c.BusyTime {
+		byClass[cl] = float64(d) / float64(elapsed)
+		busy += d
+	}
+	return byClass, float64(busy) / float64(elapsed)
+}

@@ -1,0 +1,185 @@
+// Package sim provides the deterministic discrete-event engine that all of
+// the IX reproduction runs on: a virtual nanosecond clock, a stable-order
+// event queue, cancellable timers, and a model of CPU cores that serialize
+// work items and account busy time.
+//
+// Everything in the repository executes on a single goroutine driven by
+// Engine.Run; determinism is guaranteed by the stable (time, sequence)
+// ordering of events and by using only the engine's seeded RNG.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// An Event is a scheduled callback. Events are created with Engine.At or
+// Engine.After and may be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 if not queued
+	canceled bool
+}
+
+// At returns the virtual time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Processed counts events executed, for diagnostics.
+	Processed uint64
+}
+
+// NewEngine returns an engine with its clock at zero and its RNG seeded
+// with seed (the same seed always yields the same simulation).
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it always indicates a modelling bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents ev from firing. Cancelling a nil, already-fired, or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t.
+// Events scheduled at exactly t are executed.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Pending reports the number of queued (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}

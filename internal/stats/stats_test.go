@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if m := h.Mean(); m < 48*time.Microsecond || m > 53*time.Microsecond {
+		t.Fatalf("mean = %v, want ~50.5µs", m)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Microsecond || p50 > 55*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90*time.Microsecond || p99 > 100*time.Microsecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Min() != time.Microsecond || h.Max() != 100*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestQuantileBounds: quantiles are within the recorded range and
+// monotone in q, for arbitrary sample sets.
+func TestQuantileBounds(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		min, max := time.Duration(1<<62), time.Duration(0)
+		for _, s := range samples {
+			d := time.Duration(s)
+			h.Record(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		last := time.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v > max || v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileAccuracy: relative error bounded by the bucket scheme.
+func TestQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	const v = 123456 * time.Nanosecond
+	for i := 0; i < 1000; i++ {
+		h.Record(v)
+	}
+	got := h.Quantile(0.99)
+	err := float64(got-v) / float64(v)
+	if err < -0.05 || err > 0.05 {
+		t.Fatalf("p99 of constant %v = %v (err %.3f)", v, got, err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(10 * time.Microsecond)
+	b.Record(20 * time.Microsecond)
+	a.Merge(b)
+	if a.Count() != 2 || a.Max() != 20*time.Microsecond || a.Min() != 10*time.Microsecond {
+		t.Fatalf("merge: %v", a)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestCounterWindow(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Reset()
+	c.Add(5)
+	if c.Since() != 5 || c.Total() != 15 {
+		t.Fatalf("since=%d total=%d", c.Since(), c.Total())
+	}
+}
+
+func TestRate(t *testing.T) {
+	if r := Rate(1000, time.Millisecond); r != 1e6 {
+		t.Fatalf("rate = %v", r)
+	}
+	if Rate(5, 0) != 0 {
+		t.Fatal("zero window should give zero rate")
+	}
+}

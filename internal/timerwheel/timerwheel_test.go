@@ -1,0 +1,169 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFireInOrder(t *testing.T) {
+	w := New(DefaultTick, 0)
+	var fired []int
+	w.Add(100_000, func() { fired = append(fired, 2) })
+	w.Add(50_000, func() { fired = append(fired, 1) })
+	w.Add(200_000, func() { fired = append(fired, 3) })
+	w.Advance(300_000)
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fire order = %v", fired)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("len = %d after firing all", w.Len())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := New(DefaultTick, 0)
+	fired := false
+	tm := w.Add(100_000, func() { fired = true })
+	if !w.Cancel(tm) {
+		t.Fatal("cancel reported failure")
+	}
+	if w.Cancel(tm) {
+		t.Fatal("second cancel reported success")
+	}
+	w.Advance(1_000_000)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if w.Cancelled != 1 {
+		t.Fatalf("cancelled count = %d", w.Cancelled)
+	}
+}
+
+func TestCascade(t *testing.T) {
+	w := New(DefaultTick, 0)
+	// A deadline several wheel-levels out.
+	far := int64(DefaultTick) * Slots * 10
+	fired := int64(0)
+	w.Add(far, func() { fired = 1 })
+	w.Advance(far - int64(DefaultTick))
+	if fired != 0 {
+		t.Fatal("fired early")
+	}
+	w.Advance(far + int64(DefaultTick))
+	if fired != 1 {
+		t.Fatal("did not fire after cascade")
+	}
+}
+
+func TestLongJumpWithEmptyWheel(t *testing.T) {
+	w := New(DefaultTick, 0)
+	w.Advance(int64(time.Hour)) // must not loop for hours of ticks
+	w.Add(int64(time.Hour)+50_000, func() {})
+	if w.Len() != 1 {
+		t.Fatal("timer lost after long jump")
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	w := New(DefaultTick, 0)
+	if _, ok := w.NextDeadline(); ok {
+		t.Fatal("empty wheel reported a deadline")
+	}
+	w.Add(500_000, func() {})
+	w.Add(100_000, func() {})
+	nd, ok := w.NextDeadline()
+	if !ok || nd != 100_000 {
+		t.Fatalf("next deadline = %d, %v; want 100000", nd, ok)
+	}
+}
+
+// TestNeverEarly: a timer never fires before its deadline (within one
+// tick of quantization), across random deadlines and advance patterns.
+func TestNeverEarly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := New(DefaultTick, 0)
+		type rec struct{ deadline, firedAt int64 }
+		var recs []*rec
+		now := int64(0)
+		for i := 0; i < 40; i++ {
+			d := now + rng.Int63n(int64(DefaultTick)*Slots*3)
+			r := &rec{deadline: d, firedAt: -1}
+			recs = append(recs, r)
+			w.Add(d, func() { r.firedAt = w.Now() })
+			now += rng.Int63n(int64(DefaultTick) * 50)
+			w.Advance(now)
+		}
+		w.Advance(now + int64(DefaultTick)*Slots*4)
+		for _, r := range recs {
+			if r.firedAt < 0 {
+				return false // never fired
+			}
+			if r.firedAt+int64(DefaultTick) < r.deadline {
+				return false // fired early
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelDominatedWorkload exercises the paper's common case: most
+// timers cancelled before expiry (TCP retransmission timers).
+func TestCancelDominatedWorkload(t *testing.T) {
+	w := New(DefaultTick, 0)
+	rng := rand.New(rand.NewSource(7))
+	var live []*Timer
+	now := int64(0)
+	firedCount := 0
+	for i := 0; i < 10_000; i++ {
+		tm := w.Add(now+int64(200*time.Microsecond), func() { firedCount++ })
+		live = append(live, tm)
+		if len(live) > 8 {
+			// Cancel an old timer (ack arrived).
+			idx := rng.Intn(len(live))
+			w.Cancel(live[idx])
+			live = append(live[:idx], live[idx+1:]...)
+		}
+		now += int64(10 * time.Microsecond)
+		w.Advance(now)
+	}
+	if w.Cancelled < 8500 {
+		t.Fatalf("cancelled = %d, want ≥8500", w.Cancelled)
+	}
+	if w.Fired+w.Cancelled+uint64(w.Len()) != w.Added {
+		t.Fatalf("accounting: added=%d fired=%d cancelled=%d pending=%d",
+			w.Added, w.Fired, w.Cancelled, w.Len())
+	}
+}
+
+func TestFireOrderProperty(t *testing.T) {
+	f := func(deadlines []uint32) bool {
+		if len(deadlines) == 0 {
+			return true
+		}
+		w := New(DefaultTick, 0)
+		var fired []int64
+		max := int64(0)
+		for _, d := range deadlines {
+			dl := int64(d % 100_000_000)
+			if dl > max {
+				max = dl
+			}
+			w.Add(dl, func() { fired = append(fired, w.Now()) })
+		}
+		w.Advance(max + int64(DefaultTick)*2)
+		if len(fired) != len(deadlines) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

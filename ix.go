@@ -1,0 +1,189 @@
+// Package ix is a faithful, simulation-backed reproduction of
+// "IX: A Protected Dataplane Operating System for High Throughput and
+// Low Latency" (Belay et al., OSDI 2014).
+//
+// It provides, as a library:
+//
+//   - the IX dataplane operating system (run-to-completion elastic
+//     threads, adaptive bounded batching, the Table 1 zero-copy
+//     syscall/event API, dune-style three-way protection) in
+//     ix/internal/core and its user-level library in ix/internal/libix;
+//   - the evaluation substrates built from scratch: a deterministic
+//     discrete-event engine, a multi-queue NIC with real Toeplitz RSS,
+//     links and a cut-through switch, a full TCP/IP stack over real wire
+//     formats, hierarchical timing wheels and per-thread memory pools;
+//   - the paper's baselines (a tuned Linux kernel-stack model and an
+//     mTCP user-level-stack model) running the *same* TCP engine and the
+//     *same* applications;
+//   - the workloads: the MegaPipe/mTCP echo benchmark, NetPIPE, a
+//     memcached clone and a mutilate-style load generator;
+//   - a harness that regenerates every figure and table of §5.
+//
+// This package is the public facade: cluster construction, host
+// specification, application factories and the experiment registry. See
+// the examples/ directory for runnable programs and DESIGN.md for the
+// architecture and the paper-to-module map.
+package ix
+
+import (
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/apps/echo"
+	"ix/internal/apps/memcached"
+	"ix/internal/core"
+	"ix/internal/cp"
+	"ix/internal/harness"
+	"ix/internal/mutilate"
+	"ix/internal/sim"
+	"ix/internal/wire"
+)
+
+// Re-exported architecture selectors.
+const (
+	ArchIX    = harness.ArchIX
+	ArchLinux = harness.ArchLinux
+	ArchMTCP  = harness.ArchMTCP
+)
+
+// Core aliases: the testbed.
+type (
+	// Cluster is a simulated testbed: hosts, links and a switch on one
+	// deterministic virtual clock.
+	Cluster = harness.Cluster
+	// HostSpec describes one machine (architecture, cores, NIC ports,
+	// application).
+	HostSpec = harness.HostSpec
+	// Arch selects the OS architecture of a host.
+	Arch = harness.Arch
+	// Result holds an experiment's series and tables.
+	Result = harness.Result
+	// Scale selects experiment sizing (Quick vs Full).
+	Scale = harness.Scale
+	// IPv4 is an IPv4 address.
+	IPv4 = wire.IPv4
+)
+
+// Application-facing aliases.
+type (
+	// Handler is the event-driven application interface (the libix
+	// programming model, also served by the Linux and mTCP adapters).
+	Handler = app.Handler
+	// Conn is a connection as seen by a Handler.
+	Conn = app.Conn
+	// Env is the per-thread runtime handed to applications.
+	Env = app.Env
+	// Factory creates per-thread application instances.
+	Factory = app.Factory
+	// Dataplane is an IX instance (for direct control-plane interaction).
+	Dataplane = core.Dataplane
+	// Controller is the IXCP control plane policy daemon.
+	Controller = cp.Controller
+)
+
+// Experiment scales.
+var (
+	// Full approximates the paper's testbed (§5.1).
+	Full = harness.Full
+	// Quick is reduced sizing for tests and benchmarks.
+	Quick = harness.Quick
+)
+
+// NewCluster creates an empty testbed with a deterministic seed.
+func NewCluster(seed int64) *Cluster { return harness.NewCluster(seed) }
+
+// Addr4 builds an IPv4 address.
+func Addr4(a, b, c, d byte) IPv4 { return wire.Addr4(a, b, c, d) }
+
+// EchoServer returns an echo application factory (the §5.2–5.4
+// microbenchmark server) for the given port and message size.
+func EchoServer(port uint16, msgSize int) Factory { return echo.ServerFactory(port, msgSize) }
+
+// EchoClientConfig configures echo load generation.
+type EchoClientConfig = echo.ClientConfig
+
+// EchoMetrics aggregates echo client measurements.
+type EchoMetrics = echo.Metrics
+
+// NewEchoMetrics returns a running metrics sink.
+func NewEchoMetrics() *EchoMetrics { return echo.NewMetrics() }
+
+// EchoClient returns an echo load-generator factory.
+func EchoClient(cfg EchoClientConfig) Factory { return echo.ClientFactory(cfg) }
+
+// MemcachedStore is the shared key-value store of the memcached clone.
+type MemcachedStore = memcached.Store
+
+// NewMemcachedStore builds a store bounded at maxBytes.
+func NewMemcachedStore(maxBytes int) *MemcachedStore { return memcached.NewStore(maxBytes) }
+
+// MemcachedServer returns the memcached application factory.
+func MemcachedServer(store *MemcachedStore, port uint16) Factory {
+	return memcached.ServerFactory(store, port)
+}
+
+// Mutilate workloads (§5.5, Facebook ETC and USR).
+var (
+	ETC = mutilate.ETC
+	USR = mutilate.USR
+)
+
+// MutilateMetrics aggregates load-generator measurements.
+type MutilateMetrics = mutilate.Metrics
+
+// NewMutilateMetrics returns a running metrics sink.
+func NewMutilateMetrics() *MutilateMetrics { return mutilate.NewMetrics() }
+
+// MutilateLoad returns a paced load-generator factory.
+func MutilateLoad(cfg mutilate.LoadConfig) Factory { return mutilate.LoadFactory(cfg) }
+
+// MutilateLoadConfig configures load threads.
+type MutilateLoadConfig = mutilate.LoadConfig
+
+// MutilateAgent returns the unloaded latency-sampling agent factory.
+func MutilateAgent(cfg mutilate.AgentConfig) Factory { return mutilate.AgentFactory(cfg) }
+
+// MutilateAgentConfig configures the latency agent.
+type MutilateAgentConfig = mutilate.AgentConfig
+
+// NewController attaches an IXCP elastic-scaling controller to an IX
+// dataplane with the default policy.
+func NewController(eng *sim.Engine, dp *Dataplane) *Controller {
+	return cp.New(eng, dp, cp.DefaultPolicy())
+}
+
+// Experiments maps experiment names (fig2, fig3a, fig3b, fig3c, fig4,
+// fig5, fig6, table2) to their runners.
+var Experiments = harness.Experiments
+
+// RunExperiment regenerates one paper figure/table at the given scale.
+func RunExperiment(name string, sc Scale) (*Result, bool) {
+	fn, ok := harness.Experiments[name]
+	if !ok {
+		return nil, false
+	}
+	return fn(sc), true
+}
+
+// RunEcho executes one echo configuration and returns its steady state.
+func RunEcho(s harness.EchoSetup) harness.EchoResult { return harness.RunEcho(s) }
+
+// EchoSetup configures RunEcho.
+type EchoSetup = harness.EchoSetup
+
+// RunMemcached executes one memcached measurement point.
+func RunMemcached(s harness.MemcSetup) harness.MemcResult { return harness.RunMemcached(s) }
+
+// MemcSetup configures RunMemcached.
+type MemcSetup = harness.MemcSetup
+
+// SLA is the paper's 500 µs 99th-percentile service level agreement.
+const SLA = harness.SLA
+
+// Sanity re-exports commonly tuned durations.
+const (
+	// DefaultBatchBound is B=64 (§5.1).
+	DefaultBatchBound = core.DefaultBatchBound
+)
+
+var _ = time.Nanosecond

@@ -1,0 +1,49 @@
+package ix
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublicAPIQuickstart exercises the facade the examples use.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cl := NewCluster(1)
+	m := NewEchoMetrics()
+	cl.AddHost("server", HostSpec{Arch: ArchIX, Cores: 2, Factory: EchoServer(9000, 64)})
+	srvIP := cl.IXServer(0).IP()
+	cl.AddHost("client", HostSpec{Arch: ArchLinux, Cores: 1, Factory: EchoClient(EchoClientConfig{
+		ServerIP: srvIP, Port: 9000, MsgSize: 64, Conns: 1, Metrics: m,
+	})})
+	cl.Start()
+	cl.Run(5 * time.Millisecond)
+	if m.Msgs.Total() == 0 {
+		t.Fatal("no RPCs through the public API")
+	}
+}
+
+// TestExperimentRegistry: every documented experiment is registered.
+func TestExperimentRegistry(t *testing.T) {
+	for _, name := range []string{"fig2", "fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6", "table2"} {
+		if _, ok := Experiments[name]; !ok {
+			t.Errorf("experiment %q missing from registry", name)
+		}
+	}
+	if _, ok := RunExperiment("nope", Quick); ok {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestMemcachedPublicAPI runs one small memcached point via the facade.
+func TestMemcachedPublicAPI(t *testing.T) {
+	res := RunMemcached(MemcSetup{
+		ServerArch: ArchIX, ServerCores: 2, BatchBound: DefaultBatchBound,
+		Workload: USR, TargetRPS: 100_000, ClientHosts: 2, ClientCores: 1,
+		Warmup: 2 * time.Millisecond, Window: 5 * time.Millisecond,
+	})
+	if res.AchievedRPS < 50_000 {
+		t.Fatalf("achieved %.0f RPS", res.AchievedRPS)
+	}
+	if res.AgentP99 <= 0 || res.AgentP99 > SLA {
+		t.Fatalf("p99 = %v", res.AgentP99)
+	}
+}
