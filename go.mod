@@ -1,0 +1,3 @@
+module ix
+
+go 1.24

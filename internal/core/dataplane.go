@@ -6,10 +6,12 @@ import (
 
 	"ix/internal/cost"
 	"ix/internal/dune"
+	"ix/internal/fabric"
 	"ix/internal/mem"
 	"ix/internal/netstack"
 	"ix/internal/nicsim"
 	"ix/internal/sim"
+	"ix/internal/tcp"
 	"ix/internal/wire"
 )
 
@@ -68,6 +70,40 @@ type Dataplane struct {
 	// missCache avoids recomputing the DDIO penalty every cycle.
 	missConns    int
 	missPenalty_ time.Duration
+
+	// Migration accounting (control-plane observability).
+	//
+	// Migrations counts flow-group (RETA bucket) migrations completed;
+	// FlowsMigrated counts connections re-homed; FramesRehomed counts
+	// in-flight frames drained from a source RX ring into a destination
+	// ring during migration.
+	Migrations    uint64
+	FlowsMigrated uint64
+	FramesRehomed uint64
+
+	// Loss/reorder indicators carried over from revoked threads, so the
+	// totals below survive consolidation.
+	retiredOOO         uint64
+	retiredRetrans     uint64
+	retiredFastRetrans uint64
+	retiredPoolDrops   uint64
+}
+
+// LossTotals aggregates the loss and reordering indicators across all
+// elastic threads, including ones already revoked — migration tests
+// assert on these, and a violation on a thread that is later revoked
+// must stay visible.
+func (d *Dataplane) LossTotals() (ooo, retrans, fastRetrans, poolDrops uint64) {
+	ooo, retrans, fastRetrans, poolDrops =
+		d.retiredOOO, d.retiredRetrans, d.retiredFastRetrans, d.retiredPoolDrops
+	for _, et := range d.threads {
+		t := et.ns.TCP()
+		ooo += t.OutOfOrderSegs
+		retrans += t.Retransmits
+		fastRetrans += t.FastRetransmits
+		poolDrops += et.PoolDrops
+	}
+	return
 }
 
 // New creates a dataplane. Attach NIC ports (links) before Start.
@@ -179,37 +215,44 @@ func (d *Dataplane) notifyNonResponsive(et *ElasticThread) {
 }
 
 // AddElasticThread grows the dataplane by one elastic thread (control
-// plane grant), reprogramming RSS and migrating flows so each flow group
-// is served by the thread its hash now selects. Returns an error at the
-// hardware queue limit.
+// plane grant). The RSS indirection table is repartitioned with minimal
+// movement: only the flow groups whose RETA bucket is reassigned to the
+// new queue migrate; every other flow stays on its thread untouched.
+// Returns an error at the hardware queue limit.
 func (d *Dataplane) AddElasticThread() error {
 	if len(d.threads) >= d.cfg.MaxThreads {
 		return fmt.Errorf("core: no NIC queues left (%d)", d.cfg.MaxThreads)
 	}
 	id := len(d.threads)
 	d.spawnThread(id)
-	d.nic.SpreadRETA(len(d.threads))
-	d.rebalance()
+	d.applyRepartition(d.nic.PlanRepartition(len(d.threads)))
 	return nil
 }
 
 // RemoveElasticThread revokes the highest elastic thread (control plane
-// revocation), migrating its flows to the threads RSS now selects.
+// revocation): each of its flow groups migrates — with its in-flight
+// frames and timers — to a surviving thread chosen by the repartition
+// plan, its user timers re-home to thread 0, and the thread halts.
 func (d *Dataplane) RemoveElasticThread() error {
 	if len(d.threads) <= 1 {
 		return fmt.Errorf("core: cannot remove the last elastic thread")
 	}
-	victim := d.threads[len(d.threads)-1]
-	d.threads = d.threads[:len(d.threads)-1]
-	d.nic.SpreadRETA(len(d.threads))
-	// Drain frames parked in the victim's RX ring back through RSS
-	// classification (they re-land on surviving queues).
-	for _, f := range victim.rxq.Take(victim.rxq.Len()) {
-		d.nic.Deliver(f)
-	}
-	d.rebalance()
-	// Migrate the victim's remaining flows explicitly.
-	d.migrateFrom(victim)
+	n := len(d.threads) - 1
+	victim := d.threads[n]
+	d.applyRepartition(d.nic.PlanRepartition(n))
+	// Safety net: any connection still homed on the victim (e.g. one
+	// whose reply flow was never RSS-classified) moves to the thread its
+	// bucket now selects.
+	d.migrateResidual(victim)
+	// User timers survive core revocation: they re-home to thread 0 with
+	// deadlines intact.
+	d.rehomeUserTimers(victim, d.threads[0])
+	d.threads = d.threads[:n]
+	t := victim.ns.TCP()
+	d.retiredOOO += t.OutOfOrderSegs
+	d.retiredRetrans += t.Retransmits
+	d.retiredFastRetrans += t.FastRetransmits
+	d.retiredPoolDrops += victim.PoolDrops
 	victim.stopped = true
 	if victim.idleWake != nil {
 		d.eng.Cancel(victim.idleWake)
@@ -218,42 +261,148 @@ func (d *Dataplane) RemoveElasticThread() error {
 	return nil
 }
 
-// rebalance re-homes every flow to the elastic thread its RSS bucket now
-// maps to. Resource reallocation is rare and coarse-grained (§4.4), so
-// the synchronization this implies is acceptable.
-func (d *Dataplane) rebalance() {
-	for _, et := range d.threads {
-		d.migrateFrom(et)
+// MigrateFlowGroup moves one RSS flow group (RETA bucket) to the elastic
+// thread serving queue dstID. This is the §4.4 migration mechanism, in
+// four steps at one run-to-completion boundary:
+//
+//  1. quiesce the source thread — pending event conditions are delivered
+//     and batched system calls complete against their original handles;
+//  2. repoint the RETA entry, so new arrivals land on the destination;
+//  3. drain the flow group's in-flight frames from the source RX ring
+//     into the destination ring in arrival order (no reordering, no
+//     loss);
+//  4. re-home the group's connections: TCP state, pending retransmission
+//     and TIME_WAIT timers (original deadlines), protection-domain
+//     handles, and an EvMigrated event telling the destination's user
+//     program to adopt each flow.
+func (d *Dataplane) MigrateFlowGroup(bucket, dstID int) {
+	srcID := int(d.nic.RETA()[bucket])
+	if srcID == dstID {
+		return
+	}
+	if srcID >= len(d.threads) || dstID >= len(d.threads) {
+		panic("core: MigrateFlowGroup references a stopped thread")
+	}
+	d.applyRepartition([]nicsim.RetaChange{
+		{Bucket: bucket, From: uint8(srcID), To: uint8(dstID)},
+	})
+}
+
+// applyRepartition executes a repartition plan, amortizing the per-bucket
+// work: each distinct source thread is quiesced once, its RETA entries
+// flip together, its in-flight frames drain in one ring pass, and its
+// connection table is scanned once — O(sources × (ring + conns)) rather
+// than O(buckets × conns). The four-step migration contract of
+// MigrateFlowGroup holds for every bucket in the plan.
+func (d *Dataplane) applyRepartition(plan []nicsim.RetaChange) {
+	if len(plan) == 0 {
+		return
+	}
+	bySrc := make(map[int][]nicsim.RetaChange)
+	for _, ch := range plan {
+		bySrc[int(ch.From)] = append(bySrc[int(ch.From)], ch)
+	}
+	// Iterate sources in thread order, not map order (determinism).
+	for srcID := 0; srcID < len(d.threads); srcID++ {
+		changes := bySrc[srcID]
+		if len(changes) == 0 {
+			continue
+		}
+		src := d.threads[srcID]
+		// bucket → destination thread, for this source's moving buckets.
+		dstOf := make(map[int]*ElasticThread, len(changes))
+		// (1) Quiesce the source once for all its outgoing buckets: the
+		// run-to-completion model guarantees no flow state is
+		// mid-operation between cycles; finishing the user batch extends
+		// that guarantee to the syscall/event arrays.
+		src.quiesce()
+		// (2) Flip this source's RETA entries together; new arrivals for
+		// the moving buckets now land on their destinations.
+		for _, ch := range changes {
+			dstOf[ch.Bucket] = d.threads[ch.To]
+			d.nic.SetRETAEntry(ch.Bucket, int(ch.To))
+		}
+		// (3) One ordered pass over the source ring. Frames here belong
+		// only to buckets this source owned, and the destination rings
+		// cannot yet hold frames of the moving groups (flip and drain
+		// share a virtual instant), so tail insertion preserves
+		// intra-flow order.
+		for _, f := range src.rxq.Extract(func(f *fabric.Frame) bool {
+			b, ok := d.nic.FrameBucket(f.Data)
+			return ok && dstOf[b] != nil
+		}) {
+			b, _ := d.nic.FrameBucket(f.Data)
+			if dstOf[b].rxq.Inject(f) {
+				d.FramesRehomed++
+			}
+		}
+		// (4) One pass over the source's connections.
+		for _, c := range src.ns.TCP().Conns() {
+			dst := dstOf[d.nic.RSSBucket(c.Key().Reverse())]
+			if dst == nil {
+				continue
+			}
+			d.moveConn(src, dst, c)
+		}
+		d.Migrations += uint64(len(changes))
+		for _, ch := range changes {
+			d.threads[ch.To].wake()
+		}
 	}
 }
 
-func (d *Dataplane) migrateFrom(src *ElasticThread) {
-	// Quiesce the source thread's user batches first: pending syscalls
-	// must execute against their original handles, and their return
-	// codes must reach the user library, before handles move (the
-	// quiescence the paper gets from run-to-completion boundaries).
-	src.drainUser()
+// migrateResidual sweeps src for connections whose bucket no longer maps
+// to it and re-homes them (removal safety net).
+func (d *Dataplane) migrateResidual(src *ElasticThread) {
+	src.quiesce()
 	for _, c := range src.ns.TCP().Conns() {
 		want := d.nic.RSSQueue(c.Key().Reverse())
-		if want == src.id && !src.stopped && src.id < len(d.threads) {
-			continue
+		if want == src.id {
+			want = 0
 		}
-		if want >= len(d.threads) {
+		if want >= len(d.threads) || d.threads[want] == src {
 			want = 0
 		}
 		dst := d.threads[want]
 		if dst == src {
 			continue
 		}
-		src.ns.TCP().Migrate(c, dst.ns.TCP())
-		// Re-grant the handle in the destination namespace; the old
-		// handle dies with the source thread's namespace.
-		src.gate.Revoke(c.Handle)
-		c.Handle = dst.gate.Grant(c)
-		// Tell the destination's user program to adopt the flow.
-		dst.events = append(dst.events, Event{Type: EvMigrated, Handle: c.Handle, Cookie: c.Cookie})
+		d.moveConn(src, dst, c)
 		dst.wake()
 	}
+}
+
+// rehomeUserTimers transfers every pending user timer from src's wheel to
+// dst's, preserving deadlines. The timer records carry their owning
+// thread, so the EvTimer condition fires in dst's user phase.
+func (d *Dataplane) rehomeUserTimers(src, dst *ElasticThread) {
+	moved := false
+	for ut := range src.userTimers {
+		delete(src.userTimers, ut)
+		if !src.wheel.Transfer(ut.t, dst.wheel) {
+			continue
+		}
+		ut.et = dst
+		dst.userTimers[ut] = struct{}{}
+		moved = true
+	}
+	if moved {
+		// Re-evaluate dst's idle wakeup against the new earliest deadline.
+		dst.wake()
+	}
+}
+
+// moveConn re-homes one connection from src to dst: TCP state and timers,
+// the protection-domain handle, and the user program's adoption event.
+func (d *Dataplane) moveConn(src, dst *ElasticThread, c *tcp.Conn) {
+	src.ns.TCP().Migrate(c, dst.ns.TCP())
+	// Re-grant the handle in the destination namespace; the old handle
+	// dies with the source thread's namespace.
+	src.gate.Revoke(c.Handle)
+	c.Handle = dst.gate.Grant(c)
+	// Tell the destination's user program to adopt the flow.
+	dst.events = append(dst.events, Event{Type: EvMigrated, Handle: c.Handle, Cookie: c.Cookie})
+	d.FlowsMigrated++
 }
 
 // ResetStats zeroes measurement counters on all threads (start of a

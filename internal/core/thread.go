@@ -61,6 +61,10 @@ type ElasticThread struct {
 	// (e.g. at application start), applied to the next user phase.
 	pendingCharge time.Duration
 
+	// userTimers tracks live application timers so the control plane can
+	// re-home them when it revokes this thread's core.
+	userTimers map[*userTimer]struct{}
+
 	// Measurements.
 	Cycles        uint64
 	BatchHist     *stats.Histogram // batch size per cycle (as duration units)
@@ -86,13 +90,14 @@ func (et *ElasticThread) Stack() *netstack.Stack { return et.ns }
 // newElasticThread wires up thread id on the dataplane.
 func newElasticThread(dp *Dataplane, id int) *ElasticThread {
 	et := &ElasticThread{
-		dp:        dp,
-		id:        id,
-		core:      sim.NewCore(dp.eng, id),
-		pool:      mem.NewMbufPool(dp.region, id),
-		gate:      dune.NewGate(id),
-		wheel:     timerwheel.New(timerwheel.DefaultTick, int64(dp.eng.Now())),
-		BatchHist: stats.NewHistogram(),
+		dp:         dp,
+		id:         id,
+		core:       sim.NewCore(dp.eng, id),
+		pool:       mem.NewMbufPool(dp.region, id),
+		gate:       dune.NewGate(id),
+		wheel:      timerwheel.New(timerwheel.DefaultTick, int64(dp.eng.Now())),
+		BatchHist:  stats.NewHistogram(),
+		userTimers: make(map[*userTimer]struct{}),
 	}
 	et.rxq = dp.nic.RxQueue(id)
 	et.txq = dp.nic.TxQueue(id)
@@ -491,14 +496,32 @@ func (u *UserAPI) Listen(port uint16) error {
 	return err
 }
 
+// userTimer is one live application timer. It records its current owning
+// thread so a control-plane core revocation can re-home it (the EvTimer
+// condition must fire on a thread that still exists).
+type userTimer struct {
+	et *ElasticThread
+	fn func()
+	t  *timerwheel.Timer
+}
+
+// fire runs in wheel context (cycle step 5) on whatever thread currently
+// owns the timer.
+func (ut *userTimer) fire() {
+	delete(ut.et.userTimers, ut)
+	ut.et.events = append(ut.et.events, Event{Type: EvTimer, Fn: ut.fn})
+}
+
 // After registers a user timer; it fires as an EvTimer event condition in
-// a subsequent cycle's user phase.
+// a subsequent cycle's user phase. The timer survives control-plane
+// revocation of this thread's core: it is re-homed with its deadline
+// intact.
 func (u *UserAPI) After(d time.Duration, fn func()) {
 	et := u.et
 	deadline := int64(et.dp.eng.Now()) + int64(d)
-	et.wheel.Add(deadline, func() {
-		et.events = append(et.events, Event{Type: EvTimer, Fn: fn})
-	})
+	ut := &userTimer{et: et, fn: fn}
+	ut.t = et.wheel.Add(deadline, ut.fire)
+	et.userTimers[ut] = struct{}{}
 	if u.meter == nil {
 		// Ensure the idle loop knows about the new deadline.
 		et.wake()
@@ -516,12 +539,22 @@ func (u *UserAPI) TryWriteMbuf(m *mem.Mbuf, b []byte) error {
 	return nil
 }
 
-// drainUser synchronously processes queued batched system calls and
-// delivers pending return codes to the user program, leaving no user
-// batch state in flight. The control plane calls it at migration points,
-// which are rare and coarse-grained (§4.4).
-func (et *ElasticThread) drainUser() {
-	for len(et.syscalls) > 0 || len(et.results) > 0 {
+// quiesce synchronously completes the thread's in-flight user work:
+// pending event conditions are delivered, queued batched system calls
+// execute against their original handles, and return codes reach the user
+// library — leaving no user batch state in flight. This is the quiescence
+// a flow-group migration needs beyond what run-to-completion boundaries
+// already guarantee. Migration points are rare and coarse-grained (§4.4),
+// so the synchronous processing is acceptable.
+func (et *ElasticThread) quiesce() {
+	for len(et.events) > 0 || len(et.syscalls) > 0 || len(et.results) > 0 {
+		events := et.events
+		res := et.results
+		et.events = nil
+		et.results = nil
+		if len(events) > 0 || len(res) > 0 {
+			et.user.Run(et.api, events, res)
+		}
 		if batch := et.syscalls; len(batch) > 0 {
 			et.syscalls = nil
 			m := &sim.Meter{}
@@ -529,10 +562,16 @@ func (et *ElasticThread) drainUser() {
 				et.results = append(et.results, et.dispatch(&batch[i], m))
 			}
 		}
-		res := et.results
-		et.results = nil
-		if len(res) > 0 {
-			et.user.Run(et.api, nil, res)
+	}
+	// Pure ACKs owed by the drained batch leave now, as at cycle end —
+	// and the frames go straight to the TX ring: a thread quiesced for
+	// revocation will not reach another cycle end to post them.
+	et.ns.Flush()
+	out := et.outFrames
+	et.outFrames = nil
+	for _, f := range out {
+		if et.txq.Post(f) {
+			et.TxPackets++
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"ix/internal/core"
 	"ix/internal/dune"
 	"ix/internal/sim"
+	"ix/internal/stats"
 )
 
 // Policy parameterizes the elastic scaling loop.
@@ -32,6 +33,17 @@ type Policy struct {
 	// RemoveUtil: shrink when average core utilization over the last
 	// interval falls below this fraction.
 	RemoveUtil float64
+	// ShrinkGuard uses the smoothed cycles-per-packet estimate to veto a
+	// shrink that would immediately saturate the survivors: the projected
+	// post-shrink utilization (this window's packet count × the EWMA of
+	// ns-per-packet, spread over one fewer thread) must stay below
+	// ShrinkGuard × AddUtil. The EWMA — not the same window's
+	// measurement, whose terms would cancel back to plain utilization —
+	// is what makes this a service-time signal: a low-load window is
+	// judged against the cost per packet the dataplane has recently
+	// demonstrated, not against its own noisy sample. Zero disables the
+	// guard.
+	ShrinkGuard float64
 	// MinThreads/MaxThreads bound the allocation.
 	MinThreads, MaxThreads int
 	// Cooldown intervals after a change before acting again.
@@ -44,10 +56,33 @@ func DefaultPolicy() Policy {
 		Interval:      500 * time.Microsecond,
 		AddQueueDepth: 96,
 		AddUtil:       0.9,
-		RemoveUtil:    0.25,
-		MinThreads:    1,
-		Cooldown:      4,
+		// RemoveUtil can sit fairly high because the cycles-per-packet
+		// shrink guard below vetoes any shrink the measured service time
+		// says would immediately re-saturate the survivors.
+		RemoveUtil:  0.45,
+		ShrinkGuard: 0.8,
+		MinThreads:  1,
+		Cooldown:    4,
 	}
+}
+
+// Sample is one policy-interval observation of the managed dataplane —
+// the control plane's view of the queue-depth and cycles-per-packet
+// signals the dataplane exports (§3).
+type Sample struct {
+	At      sim.Time
+	Threads int
+	// AvgUtil is the mean busy fraction across elastic threads.
+	AvgUtil float64
+	// MaxDepth is the deepest RX descriptor ring (NIC-edge queueing).
+	MaxDepth int
+	// Pkts is packets delivered during the interval; PPS its rate.
+	Pkts uint64
+	PPS  float64
+	// NsPerPkt is busy time per delivered packet over the interval — the
+	// cycles-per-packet signal (service time including batching
+	// amortization).
+	NsPerPkt time.Duration
 }
 
 // Event records one control plane action, for inspection and tests.
@@ -68,9 +103,19 @@ type Controller struct {
 
 	cooldown int
 	stopped  bool
+	prevRx   uint64
+	// svcEWMA is the exponentially smoothed ns-per-packet estimate
+	// (α = 1/8), the service-time signal behind the shrink guard.
+	svcEWMA time.Duration
 
 	// Log of actions taken.
 	Log []Event
+	// History holds one Sample per policy interval (telemetry for the
+	// elastic-scaling harness and tests).
+	History []Sample
+	// SvcTime is the distribution of the per-interval cycles-per-packet
+	// signal over the run.
+	SvcTime *stats.Histogram
 	// NonResponsive counts §4.5 timeout-interrupt reports.
 	NonResponsive int
 }
@@ -87,12 +132,16 @@ func New(eng *sim.Engine, dp *core.Dataplane, policy Policy) *Controller {
 		policy.MinThreads = 1
 	}
 	return &Controller{
-		eng:    eng,
-		dp:     dp,
-		policy: policy,
-		Domain: dune.Domain{Name: "ixcp", Ring: dune.RingVMXRoot0},
+		eng:     eng,
+		dp:      dp,
+		policy:  policy,
+		Domain:  dune.Domain{Name: "ixcp", Ring: dune.RingVMXRoot0},
+		SvcTime: stats.NewHistogram(),
 	}
 }
+
+// Policy returns the controller's active policy.
+func (c *Controller) Policy() Policy { return c.policy }
 
 // ReportNonResponsive is the dataplane's §4.5 notification hook.
 func (c *Controller) ReportNonResponsive(thread int) {
@@ -115,36 +164,78 @@ func (c *Controller) resetWindow() {
 	}
 }
 
+// observe gathers one interval's signals from the dataplane.
+func (c *Controller) observe() Sample {
+	s := Sample{At: c.eng.Now(), Threads: c.dp.Threads()}
+	var utilSum float64
+	var rx uint64
+	for i := 0; i < s.Threads; i++ {
+		et := c.dp.Thread(i)
+		if d := et.RxQueueLen(); d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		utilSum += et.CoreUtilization()
+		rx += et.RxPackets
+	}
+	s.AvgUtil = utilSum / float64(s.Threads)
+	// Per-thread RxPackets are cumulative; a removed thread takes its
+	// count with it, so clamp the window on shrink.
+	if rx < c.prevRx {
+		c.prevRx = rx
+	}
+	s.Pkts = rx - c.prevRx
+	c.prevRx = rx
+	s.PPS = stats.Rate(s.Pkts, c.policy.Interval)
+	if s.Pkts > 0 {
+		busy := time.Duration(utilSum * float64(c.policy.Interval))
+		s.NsPerPkt = busy / time.Duration(s.Pkts)
+		c.SvcTime.Record(s.NsPerPkt)
+		if c.svcEWMA == 0 {
+			c.svcEWMA = s.NsPerPkt
+		} else {
+			c.svcEWMA += (s.NsPerPkt - c.svcEWMA) / 8
+		}
+	}
+	c.History = append(c.History, s)
+	return s
+}
+
+// SvcEWMA returns the smoothed cycles-per-packet estimate (zero until
+// the first packet-carrying interval).
+func (c *Controller) SvcEWMA() time.Duration { return c.svcEWMA }
+
 func (c *Controller) tick() {
 	if c.stopped {
 		return
 	}
 	defer c.eng.After(c.policy.Interval, c.tick)
+	s := c.observe()
 	if c.cooldown > 0 {
 		c.cooldown--
 		c.resetWindow()
 		return
 	}
-	maxDepth := 0
-	var utilSum float64
-	n := c.dp.Threads()
-	for i := 0; i < n; i++ {
-		et := c.dp.Thread(i)
-		if d := et.RxQueueLen(); d > maxDepth {
-			maxDepth = d
+	n := s.Threads
+	grow := s.MaxDepth >= c.policy.AddQueueDepth ||
+		(c.policy.AddUtil > 0 && s.AvgUtil >= c.policy.AddUtil)
+	shrink := s.AvgUtil < c.policy.RemoveUtil && n > c.policy.MinThreads
+	if shrink && c.policy.ShrinkGuard > 0 && c.policy.AddUtil > 0 && c.svcEWMA > 0 && n > 1 {
+		// Cycles-per-packet veto: would this window's packet load, at the
+		// service time the dataplane has recently demonstrated (EWMA, not
+		// this window's own noisy sample), saturate one fewer thread?
+		projected := float64(s.Pkts) * float64(c.svcEWMA) /
+			(float64(n-1) * float64(c.policy.Interval))
+		if projected >= c.policy.ShrinkGuard*c.policy.AddUtil {
+			shrink = false
 		}
-		utilSum += et.CoreUtilization()
 	}
-	avgUtil := utilSum / float64(n)
-	grow := maxDepth >= c.policy.AddQueueDepth ||
-		(c.policy.AddUtil > 0 && avgUtil >= c.policy.AddUtil)
 	switch {
 	case grow && n < c.policy.MaxThreads:
 		if err := c.dp.AddElasticThread(); err == nil {
 			c.Log = append(c.Log, Event{At: c.eng.Now(), Action: "add", Threads: c.dp.Threads()})
 			c.cooldown = c.policy.Cooldown
 		}
-	case avgUtil < c.policy.RemoveUtil && n > c.policy.MinThreads:
+	case shrink:
 		if err := c.dp.RemoveElasticThread(); err == nil {
 			c.Log = append(c.Log, Event{At: c.eng.Now(), Action: "remove", Threads: c.dp.Threads()})
 			c.cooldown = c.policy.Cooldown

@@ -1,10 +1,11 @@
-package cp
+package cp_test
 
 import (
 	"testing"
 	"time"
 
 	"ix/internal/apps/echo"
+	"ix/internal/cp"
 	"ix/internal/harness"
 )
 
@@ -28,7 +29,7 @@ func TestElasticScaleUpAndDown(t *testing.T) {
 		})
 	}
 	cl.Start()
-	ctl := New(cl.Eng, srv, DefaultPolicy())
+	ctl := cp.New(cl.Eng, srv, cp.DefaultPolicy())
 	ctl.Start()
 	cl.Run(20 * time.Millisecond)
 	if srv.Threads() < 2 {
@@ -74,9 +75,9 @@ func TestPolicyBounds(t *testing.T) {
 		}),
 	})
 	cl.Start()
-	p := DefaultPolicy()
+	p := cp.DefaultPolicy()
 	p.MinThreads = 2
-	ctl := New(cl.Eng, srv, p)
+	ctl := cp.New(cl.Eng, srv, p)
 	ctl.Start()
 	cl.Run(15 * time.Millisecond)
 	if srv.Threads() != 2 {

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestElasticTracksLoad encodes the elastic-scaling acceptance bar: over
+// a triangle load ramp the controller's core allocation must track the
+// offered load up and down, peak throughput must be within 5% of a
+// static run pinned at MaxCores, and the migrations must be lossless.
+func TestElasticTracksLoad(t *testing.T) {
+	set := ElasticSetup{
+		MaxCores:    4,
+		PeakRPS:     900_000,
+		Steps:       4,
+		StepWindow:  5 * time.Millisecond,
+		ClientHosts: 6,
+		ClientCores: 2,
+	}
+	el := RunElastic(set)
+	stat := set
+	stat.Static = true
+	st := RunElastic(stat)
+
+	// Scale-up and scale-down both happened.
+	maxCores, endCores := 0, 0
+	for _, p := range el.Points {
+		if p.Cores > maxCores {
+			maxCores = p.Cores
+		}
+		endCores = p.Cores
+	}
+	if el.Points[0].Cores != 1 {
+		t.Errorf("ramp did not start consolidated: %d cores", el.Points[0].Cores)
+	}
+	if maxCores != set.MaxCores {
+		t.Errorf("allocation peaked at %d cores, want %d", maxCores, set.MaxCores)
+	}
+	if endCores >= maxCores {
+		t.Errorf("no scale-down: ended at %d of %d cores", endCores, maxCores)
+	}
+
+	// Elastic throughput within 5% of the static allocation at peak.
+	if st.PeakAchievedRPS <= 0 {
+		t.Fatal("static baseline achieved nothing")
+	}
+	ratio := el.PeakAchievedRPS / st.PeakAchievedRPS
+	if ratio < 0.95 {
+		t.Errorf("elastic peak %.0f RPS is %.1f%% of static %.0f RPS (want ≥95%%)",
+			el.PeakAchievedRPS, ratio*100, st.PeakAchievedRPS)
+	}
+
+	// Elasticity must pay off in core-seconds.
+	if el.CoreSeconds >= st.CoreSeconds {
+		t.Errorf("elastic used %.4f core-seconds, static %.4f", el.CoreSeconds, st.CoreSeconds)
+	}
+
+	// Migrations happened and were lossless at the NIC edge.
+	if el.Migrations == 0 || el.FlowsMigrated == 0 {
+		t.Errorf("no migrations recorded: %d groups, %d flows", el.Migrations, el.FlowsMigrated)
+	}
+	if el.Drops != 0 {
+		t.Errorf("elastic run dropped %d frames at the NIC edge", el.Drops)
+	}
+}

@@ -280,12 +280,13 @@ func Fig6(sc Scale) *Result {
 
 // Experiments is the registry used by cmd/ixbench and the benches.
 var Experiments = map[string]func(Scale) *Result{
-	"fig2":   Fig2,
-	"fig3a":  Fig3a,
-	"fig3b":  Fig3b,
-	"fig3c":  Fig3c,
-	"fig4":   Fig4,
-	"fig5":   Fig5,
-	"fig6":   Fig6,
-	"table2": Table2,
+	"fig2":    Fig2,
+	"fig3a":   Fig3a,
+	"fig3b":   Fig3b,
+	"fig3c":   Fig3c,
+	"fig4":    Fig4,
+	"fig5":    Fig5,
+	"fig6":    Fig6,
+	"table2":  Table2,
+	"elastic": Elastic,
 }

@@ -124,6 +124,10 @@ type LoadConfig struct {
 	Conns int
 	// TargetRPS is this thread's share of the offered load.
 	TargetRPS float64
+	// Schedule, when non-nil, overrides TargetRPS each pacing tick with
+	// the offered load (requests/s, this thread's share) as a function of
+	// virtual time — the load ramps of the elastic-scaling experiments.
+	Schedule func(now int64) float64
 	// Pipeline is the max outstanding requests per connection (§5.5
 	// allows up to 4).
 	Pipeline int
@@ -191,7 +195,11 @@ func (g *loadgen) pace() {
 	if !m.Running {
 		return
 	}
-	g.budget += g.cfg.TargetRPS * tick.Seconds()
+	rate := g.cfg.TargetRPS
+	if g.cfg.Schedule != nil {
+		rate = g.cfg.Schedule(g.env.Now())
+	}
+	g.budget += rate * tick.Seconds()
 	issued := 0
 	tries := 0
 	for g.budget >= 1 && len(g.conns) > 0 && tries < 2*len(g.conns) {

@@ -105,6 +105,44 @@ func (q *RxQueue) Take(n int) []*fabric.Frame {
 	return out
 }
 
+// Extract removes, preserving arrival order, every waiting frame that
+// matches, returning their descriptors to the free pool. It is the
+// migration drain: the dataplane pulls a quiesced flow group's in-flight
+// frames out of the source ring before re-homing them.
+func (q *RxQueue) Extract(match func(*fabric.Frame) bool) []*fabric.Frame {
+	var out []*fabric.Frame
+	rest := q.ring[:0]
+	for _, f := range q.ring {
+		if match(f) {
+			out = append(out, f)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	q.ring = rest
+	q.descAvail += len(out)
+	return out
+}
+
+// Inject appends a migrated frame to the ring tail, consuming a
+// descriptor. Because the RETA entry is flipped before the source ring is
+// drained, the destination ring holds no frames of the migrating flow
+// group yet, so tail insertion preserves intra-flow order. Reports false
+// (frame dropped, counted) when no descriptor is free.
+func (q *RxQueue) Inject(f *fabric.Frame) bool {
+	if q.descAvail <= 0 || len(q.ring) >= q.ringSize {
+		q.RxDrops++
+		q.nic.RxDrops++
+		return false
+	}
+	q.descAvail--
+	q.ring = append(q.ring, f)
+	if q.Mode == ModePoll && len(q.ring) == 1 && q.OnFrame != nil {
+		q.OnFrame()
+	}
+	return true
+}
+
 // EnableInterrupt arms the queue's interrupt (NAPI completion).
 func (q *RxQueue) EnableInterrupt() {
 	q.intrArmed = true
@@ -294,12 +332,118 @@ func (n *NIC) SpreadRETA(active int) {
 	n.reta = r
 }
 
+// SetRETAEntry repoints one redirection-table bucket — the hardware
+// operation behind a single flow-group migration (§4.4): after the write,
+// every new frame of the bucket's flows lands on the new queue.
+func (n *NIC) SetRETAEntry(bucket, queue int) {
+	if queue < 0 || queue >= n.cfg.Queues {
+		panic("nicsim: RETA entry references nonexistent queue")
+	}
+	n.reta[bucket&(RetaSize-1)] = uint8(queue)
+}
+
+// RetaChange is one planned bucket reassignment: the flow group hashing
+// to Bucket moves from queue From to queue To.
+type RetaChange struct {
+	Bucket   int
+	From, To uint8
+}
+
+// PlanRepartition computes a minimal-move reassignment of the redirection
+// table onto queues [0, active): buckets owned by revoked queues are
+// spread over the survivors, then buckets move from the most- to the
+// least-loaded queue until counts are balanced within one. Unlike a
+// round-robin rewrite, flow groups that do not need to move stay put, so
+// the dataplane migrates only the returned buckets. The plan is not
+// applied; the caller flips each entry with SetRETAEntry at its migration
+// point.
+func (n *NIC) PlanRepartition(active int) []RetaChange {
+	if active <= 0 {
+		active = 1
+	}
+	if active > n.cfg.Queues {
+		active = n.cfg.Queues
+	}
+	work := n.reta
+	count := make([]int, active)
+	for _, q := range work {
+		if int(q) < active {
+			count[q]++
+		}
+	}
+	var changes []RetaChange
+	move := func(b, to int) {
+		from := work[b]
+		if int(from) < active {
+			count[from]--
+		}
+		work[b] = uint8(to)
+		count[to]++
+		changes = append(changes, RetaChange{Bucket: b, From: from, To: uint8(to)})
+	}
+	argmin := func() int {
+		best := 0
+		for i, c := range count {
+			if c < count[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	// Orphaned buckets (owner queue revoked) go to the least-loaded
+	// survivor.
+	for b, q := range work {
+		if int(q) >= active {
+			move(b, argmin())
+		}
+	}
+	// Even out: repeatedly shift the lowest-numbered bucket of the most-
+	// loaded queue to the least-loaded one.
+	for {
+		lo, hi := 0, 0
+		for i, c := range count {
+			if c < count[lo] {
+				lo = i
+			}
+			if c > count[hi] {
+				hi = i
+			}
+		}
+		if count[hi]-count[lo] <= 1 {
+			break
+		}
+		for b, q := range work {
+			if int(q) == hi {
+				move(b, lo)
+				break
+			}
+		}
+	}
+	return changes
+}
+
 // RSSQueue returns the queue the NIC would select for a flow — used both
 // by delivery and by client stacks that probe ephemeral ports so replies
 // land on the connecting thread's queue (§4.4).
 func (n *NIC) RSSQueue(k wire.FlowKey) int {
+	return int(n.reta[n.RSSBucket(k)])
+}
+
+// RSSBucket returns the redirection-table bucket (flow group, §4.4) a
+// flow hashes to — the unit of control-plane flow migration.
+func (n *NIC) RSSBucket(k wire.FlowKey) int {
 	h := RSSHash(n.rssKey[:], k)
-	return int(n.reta[h&(RetaSize-1)])
+	return int(h & (RetaSize - 1))
+}
+
+// FrameBucket returns the RSS bucket of a raw frame, or ok=false for
+// frames outside RSS classification (ARP, ICMP, non-IPv4).
+func (n *NIC) FrameBucket(data []byte) (int, bool) {
+	k, ok := n.frameKey(data)
+	if !ok {
+		return 0, false
+	}
+	return n.RSSBucket(k), true
 }
 
 // Deliver implements fabric.Endpoint: frame arrival from any member port.
@@ -311,30 +455,39 @@ func (n *NIC) Deliver(f *fabric.Frame) {
 // classify picks the RX queue for a frame: RSS for TCP/UDP over IPv4,
 // queue 0 for everything else (ARP, ICMP) — matching hardware defaults.
 func (n *NIC) classify(data []byte) int {
+	k, ok := n.frameKey(data)
+	if !ok {
+		return 0
+	}
+	return n.RSSQueue(k)
+}
+
+// frameKey extracts the RSS flow key of a frame; ok=false for frames the
+// hardware would not hash (non-IPv4, non-TCP/UDP).
+func (n *NIC) frameKey(data []byte) (wire.FlowKey, bool) {
 	var eth wire.EthHeader
 	if eth.Unmarshal(data) != nil || eth.EtherType != wire.EtherTypeIPv4 {
-		return 0
+		return wire.FlowKey{}, false
 	}
 	ip := data[wire.EthHdrLen:]
 	var iph wire.IPv4Header
 	if iph.Unmarshal(ip) != nil {
-		return 0
+		return wire.FlowKey{}, false
 	}
 	if iph.Proto != wire.ProtoTCP && iph.Proto != wire.ProtoUDP {
-		return 0
+		return wire.FlowKey{}, false
 	}
 	tr := ip[wire.IPv4HdrLen:]
 	if len(tr) < 4 {
-		return 0
+		return wire.FlowKey{}, false
 	}
-	k := wire.FlowKey{
+	return wire.FlowKey{
 		SrcIP:   iph.Src,
 		DstIP:   iph.Dst,
 		SrcPort: uint16(tr[0])<<8 | uint16(tr[1]),
 		DstPort: uint16(tr[2])<<8 | uint16(tr[3]),
 		Proto:   iph.Proto,
-	}
-	return n.RSSQueue(k)
+	}, true
 }
 
 // txPort selects the member port for an outgoing frame: the only port for

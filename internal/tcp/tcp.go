@@ -26,6 +26,7 @@ package tcp
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"ix/internal/mem"
@@ -182,7 +183,12 @@ type Stack struct {
 	nextPort  uint16
 
 	// Stats.
-	SegsIn, SegsOut   uint64
+	SegsIn, SegsOut uint64
+	// OutOfOrderSegs counts data segments that arrived ahead of rcvNxt
+	// and entered reassembly. On a lossless fabric this stays zero unless
+	// something — e.g. a buggy flow migration — reorders a flow's frames,
+	// so migration tests assert on it directly.
+	OutOfOrderSegs    uint64
 	Retransmits       uint64
 	FastRetransmits   uint64
 	BadChecksums      uint64
@@ -724,6 +730,7 @@ func (c *Conn) processData(seq uint32, payload []byte, buf *mem.Mbuf) {
 		c.drainReasm()
 		c.scheduleDataAck()
 	} else {
+		c.stack.OutOfOrderSegs++
 		c.insertReasm(seq, payload, buf)
 		// RFC 5681: an out-of-order segment generates an immediate
 		// duplicate ACK so the sender's fast retransmit can count it —
@@ -1136,14 +1143,13 @@ func (s *Stack) Migrate(c *Conn, dst *Stack) {
 	if c.stack != s || dst == s {
 		return
 	}
-	hadRTO := c.rtoTimer != nil
-	c.cancelRTO()
-	if c.twTimer != nil {
-		s.cfg.Wheel.Cancel(c.twTimer)
-		c.twTimer = nil
-		if c.state == StateTimeWait {
-			// Re-arm in destination wheel below.
-			hadRTO = false
+	// Re-home pending timers, preserving their original deadlines (timer
+	// continuity): a retransmission, TIME_WAIT or delayed-ACK deadline
+	// set before the migration fires at the same virtual time on the
+	// destination wheel. Fired/cancelled timers are dropped.
+	for _, t := range []**timerwheel.Timer{&c.rtoTimer, &c.twTimer, &c.daTimer} {
+		if *t != nil && !s.cfg.Wheel.Transfer(*t, dst.cfg.Wheel) {
+			*t = nil
 		}
 	}
 	if c.inAckLst {
@@ -1159,11 +1165,9 @@ func (s *Stack) Migrate(c *Conn, dst *Stack) {
 	delete(s.conns, c.key)
 	c.stack = dst
 	dst.conns[c.key] = c
-	if c.state == StateTimeWait {
-		c.twTimer = dst.cfg.Wheel.Add(dst.cfg.Now()+int64(dst.cfg.TimeWait), func() {
-			c.destroy(ReasonClosed)
-		})
-	} else if hadRTO || len(c.retransQ) > 0 {
+	if c.rtoTimer == nil && c.state != StateTimeWait && len(c.retransQ) > 0 {
+		// Unacked data without a live timer (should not happen, but a
+		// lost RTO would hang the flow forever): re-arm defensively.
 		c.armRTO()
 	}
 	if c.needAck {
@@ -1173,12 +1177,31 @@ func (s *Stack) Migrate(c *Conn, dst *Stack) {
 }
 
 // Conns returns the live connections (any state), for control-plane
-// rebalancing sweeps. The slice is freshly allocated.
+// rebalancing sweeps. The slice is freshly allocated and sorted by flow
+// key: migration walks it, and a map-iteration order here would leak
+// into handle numbering and event order, breaking run-to-run
+// determinism.
 func (s *Stack) Conns() []*Conn {
 	out := make([]*Conn, 0, len(s.conns))
 	for _, c := range s.conns {
 		out = append(out, c)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].key, out[j].key
+		if a.SrcIP != b.SrcIP {
+			return a.SrcIP < b.SrcIP
+		}
+		if a.DstIP != b.DstIP {
+			return a.DstIP < b.DstIP
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		if a.DstPort != b.DstPort {
+			return a.DstPort < b.DstPort
+		}
+		return a.Proto < b.Proto
+	})
 	return out
 }
 

@@ -74,6 +74,9 @@ type Wheel struct {
 	Added     uint64
 	Cancelled uint64
 	Fired     uint64
+	// Migration traffic (Transfer does not disturb the add/cancel stats).
+	TransferredIn  uint64
+	TransferredOut uint64
 }
 
 // New returns a wheel with the given tick resolution starting at time
@@ -136,6 +139,27 @@ func (w *Wheel) Cancel(t *Timer) bool {
 	unlink(t)
 	w.count--
 	w.Cancelled++
+	return true
+}
+
+// Transfer moves a pending timer from w to dst, preserving its deadline
+// and callback — the re-homing primitive behind control-plane flow-group
+// migration: a migrated connection's retransmission, TIME_WAIT and
+// delayed-ACK timers keep their original deadlines on the destination
+// elastic thread's wheel. A deadline already in dst's past fires on dst's
+// next Advance. Transferring a fired, cancelled or nil timer is a no-op;
+// it does not count as a cancel on w nor an add on dst. Reports whether
+// the timer moved.
+func (w *Wheel) Transfer(t *Timer, dst *Wheel) bool {
+	if t == nil || t.slot == nil || dst == nil || dst == w {
+		return false
+	}
+	unlink(t)
+	w.count--
+	dst.place(t)
+	dst.count++
+	w.TransferredOut++
+	dst.TransferredIn++
 	return true
 }
 

@@ -167,3 +167,55 @@ func TestFireOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTransfer: a pending timer re-homes to another wheel with deadline
+// and callback intact; fired/cancelled timers do not move.
+func TestTransfer(t *testing.T) {
+	src := New(DefaultTick, 0)
+	dst := New(DefaultTick, 0)
+	fired := 0
+	tm := src.Add(100_000, func() { fired++ })
+	if !src.Transfer(tm, dst) {
+		t.Fatal("Transfer refused a pending timer")
+	}
+	if src.Len() != 0 || dst.Len() != 1 {
+		t.Fatalf("counts after transfer: src=%d dst=%d", src.Len(), dst.Len())
+	}
+	// The source wheel advancing past the deadline must not fire it.
+	src.Advance(200_000)
+	if fired != 0 {
+		t.Fatal("timer fired on the source wheel after transfer")
+	}
+	dst.Advance(200_000)
+	if fired != 1 {
+		t.Fatalf("timer did not fire on the destination wheel (fired=%d)", fired)
+	}
+	// Fired timers do not transfer.
+	if src.Transfer(tm, dst) {
+		t.Fatal("Transfer moved a fired timer")
+	}
+	// Cancelled timers do not transfer.
+	tm2 := src.Add(300_000, func() {})
+	src.Cancel(tm2)
+	if src.Transfer(tm2, dst) {
+		t.Fatal("Transfer moved a cancelled timer")
+	}
+	if src.TransferredOut != 1 || dst.TransferredIn != 1 {
+		t.Fatalf("transfer stats: out=%d in=%d", src.TransferredOut, dst.TransferredIn)
+	}
+}
+
+// TestTransferPastDeadline: a deadline already in the destination's past
+// fires on its next Advance rather than being lost.
+func TestTransferPastDeadline(t *testing.T) {
+	src := New(DefaultTick, 0)
+	dst := New(DefaultTick, 0)
+	dst.Advance(500_000) // destination clock is ahead of the deadline
+	fired := false
+	tm := src.Add(100_000, func() { fired = true })
+	src.Transfer(tm, dst)
+	dst.Advance(600_000)
+	if !fired {
+		t.Fatal("past-deadline timer lost in transfer")
+	}
+}

@@ -146,14 +146,51 @@ func MutilateAgent(cfg mutilate.AgentConfig) Factory { return mutilate.AgentFact
 // MutilateAgentConfig configures the latency agent.
 type MutilateAgentConfig = mutilate.AgentConfig
 
+// Control plane aliases: the IXCP policy daemon's configuration and
+// telemetry.
+type (
+	// ControllerPolicy parameterizes the elastic scaling loop (queue
+	// depth, utilization and cycles-per-packet thresholds).
+	ControllerPolicy = cp.Policy
+	// ControllerEvent is one logged control-plane action.
+	ControllerEvent = cp.Event
+	// ControllerSample is one policy-interval observation (queue depth,
+	// utilization, cycles-per-packet).
+	ControllerSample = cp.Sample
+)
+
+// DefaultControllerPolicy returns the conservative elastic policy.
+func DefaultControllerPolicy() ControllerPolicy { return cp.DefaultPolicy() }
+
 // NewController attaches an IXCP elastic-scaling controller to an IX
 // dataplane with the default policy.
 func NewController(eng *sim.Engine, dp *Dataplane) *Controller {
 	return cp.New(eng, dp, cp.DefaultPolicy())
 }
 
+// NewControllerWithPolicy attaches an IXCP controller with an explicit
+// policy.
+func NewControllerWithPolicy(eng *sim.Engine, dp *Dataplane, p ControllerPolicy) *Controller {
+	return cp.New(eng, dp, p)
+}
+
+// Elastic scaling experiment (the §3 consolidation scenario): sweep
+// offered load up and down and record cores-used vs throughput/latency.
+type (
+	// ElasticSetup configures RunElastic.
+	ElasticSetup = harness.ElasticSetup
+	// ElasticResult is one ramp run's measurements.
+	ElasticResult = harness.ElasticResult
+	// ElasticPoint is one measurement window of the ramp.
+	ElasticPoint = harness.ElasticPoint
+)
+
+// RunElastic executes one load ramp against an elastically scaled IX
+// memcached server.
+func RunElastic(s ElasticSetup) ElasticResult { return harness.RunElastic(s) }
+
 // Experiments maps experiment names (fig2, fig3a, fig3b, fig3c, fig4,
-// fig5, fig6, table2) to their runners.
+// fig5, fig6, table2, elastic) to their runners.
 var Experiments = harness.Experiments
 
 // RunExperiment regenerates one paper figure/table at the given scale.
