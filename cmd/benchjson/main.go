@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// JSON perf record the CI benchmark step commits as BENCH_PR<n>.json:
+// wall-clock and the reported peak metrics per figure benchmark, so the
+// performance trajectory of the reproduction is tracked across PRs.
+//
+// Usage:
+//
+//	go test -run=NONE -bench='BenchmarkFig|BenchmarkTable2' -benchtime=1x . | benchjson > BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's record.
+type Bench struct {
+	Name string `json:"name"`
+	// Iterations is b.N (1 for -benchtime=1x runs).
+	Iterations int64 `json:"iterations"`
+	// WallNsPerOp is the wall-clock per iteration (ns/op).
+	WallNsPerOp float64 `json:"wall_ns_per_op"`
+	// Metrics holds the b.ReportMetric values (peak msgs/s, Gbps, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the file layout.
+type Record struct {
+	Package    string  `json:"package,omitempty"`
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	var rec Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			rec.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			rec.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rec.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				rec.Benchmarks = append(rec.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line: name, iterations, then
+// "value unit" pairs (ns/op first, ReportMetric entries after).
+func parseBench(line string) (Bench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Bench{}, false
+	}
+	b := Bench{Name: strings.TrimPrefix(f[0], "Benchmark"), Metrics: map[string]float64{}}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b.Iterations = n
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		if f[i+1] == "ns/op" {
+			b.WallNsPerOp = v
+		} else {
+			b.Metrics[f[i+1]] = v
+		}
+	}
+	return b, true
+}

@@ -106,6 +106,14 @@ type ClientConfig struct {
 	// connections". Rounds is ignored in this mode (connections stay
 	// open).
 	Outstanding int
+
+	// RampBatch/RampGap override the connection ramp pacing (defaults
+	// connectBatch/connectBatchGap). Large Fig. 4 fleets set these so
+	// the aggregate SYN rate stays below the server's ingest capacity;
+	// otherwise NIC-edge drops leave establishment to synchronized
+	// retransmission waves.
+	RampBatch int
+	RampGap   time.Duration
 }
 
 // clientConn tracks one RPC stream.
@@ -116,14 +124,44 @@ type clientConn struct {
 	busy   bool
 }
 
+// connectBatch/connectBatchGap pace connection ramp-up for large
+// connection counts (§5.4 scale): opening tens of thousands of
+// connections in one instant would overrun listener SYN backlogs and
+// leave establishment to retransmission backoff. Counts up to one batch
+// open immediately, exactly as before.
+const (
+	connectBatch    = 64
+	connectBatchGap = 50 * time.Microsecond
+)
+
 // ClientFactory returns an app.Factory generating echo load per cfg.
 func ClientFactory(cfg ClientConfig) app.Factory {
 	return func(env app.Env, thread, threads int) app.Handler {
 		c := &client{env: env, cfg: cfg}
-		for i := 0; i < cfg.Conns; i++ {
-			c.connect()
-		}
+		c.rampConnect(cfg.Conns)
 		return c
+	}
+}
+
+// rampConnect opens up to one batch of connections now and schedules the
+// remainder.
+func (cl *client) rampConnect(remaining int) {
+	batch, gap := cl.cfg.RampBatch, cl.cfg.RampGap
+	if batch <= 0 {
+		batch = connectBatch
+	}
+	if gap <= 0 {
+		gap = connectBatchGap
+	}
+	n := remaining
+	if n > batch {
+		n = batch
+	}
+	for i := 0; i < n; i++ {
+		cl.connect()
+	}
+	if rest := remaining - n; rest > 0 {
+		cl.env.After(gap, func() { cl.rampConnect(rest) })
 	}
 }
 
@@ -227,9 +265,32 @@ func (cl *client) OnSent(c app.Conn, n int) {}
 func (cl *client) OnEOF(c app.Conn)         { c.Close() }
 
 func (cl *client) OnClosed(c app.Conn) {
+	st, _ := c.Cookie().(*clientConn)
+	if cl.cfg.Outstanding > 0 {
+		// Rotation mode: drop the dead connection from the ring, free its
+		// in-flight slot, and replace it to hold the population at target.
+		for i, rc := range cl.ring {
+			if rc == c {
+				cl.ring = append(cl.ring[:i], cl.ring[i+1:]...)
+				break
+			}
+		}
+		if st != nil && st.busy {
+			st.busy = false
+			if cl.cfg.Metrics.Running && len(cl.ring) > 0 {
+				cl.issueNext()
+			} else {
+				cl.inFlight--
+			}
+		}
+		if cl.cfg.Metrics.Running && !cl.cfg.NoReconnect {
+			cl.cfg.Metrics.Failures.Inc()
+			cl.connect()
+		}
+		return
+	}
 	// RST-closed connections already accounted in OnRecv; unexpected
 	// deaths trigger a reconnect to sustain load.
-	st, _ := c.Cookie().(*clientConn)
 	if st != nil && st.rounds < cl.cfg.Rounds && cl.cfg.Metrics.Running && !cl.cfg.NoReconnect {
 		cl.cfg.Metrics.Failures.Inc()
 		cl.connect()

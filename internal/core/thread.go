@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ix/internal/dune"
+	"ix/internal/fabric"
 	"ix/internal/mem"
 	"ix/internal/netstack"
 	"ix/internal/nicsim"
@@ -45,13 +46,26 @@ type ElasticThread struct {
 	user UserProgram
 	api  *UserAPI
 
-	// Shared-memory arrays (Table 1).
+	// Shared-memory arrays (Table 1). The spare fields hold drained
+	// backing arrays for reuse, so the steady-state cycle does not
+	// allocate event/syscall/result storage.
 	events   []Event
 	syscalls []Syscall
 	results  []SyscallResult
+	evSpare  []Event
+	sysSpare []Syscall
+	resSpare []SyscallResult
 
-	// Frames assembled this cycle, posted to the TX ring at cycle end.
-	outFrames [][]byte
+	// Frames assembled this cycle accumulate in outFrames and are posted
+	// to the TX ring at cycle end (txPending); txSpare recycles the
+	// posted backing array so the ping-pong is allocation-free.
+	outFrames []*fabric.Frame
+	txPending []*fabric.Frame
+	txSpare   []*fabric.Frame
+
+	// cycleFn is the bound cycle method, created once so each wake does
+	// not allocate a method-value closure.
+	cycleFn func(*sim.Meter)
 
 	cycleActive bool
 	idleWake    *sim.Event
@@ -99,6 +113,7 @@ func newElasticThread(dp *Dataplane, id int) *ElasticThread {
 		BatchHist:  stats.NewHistogram(),
 		userTimers: make(map[*userTimer]struct{}),
 	}
+	et.cycleFn = et.cycle
 	et.rxq = dp.nic.RxQueue(id)
 	et.txq = dp.nic.TxQueue(id)
 	et.rxq.Mode = nicsim.ModePoll
@@ -108,7 +123,7 @@ func newElasticThread(dp *Dataplane, id int) *ElasticThread {
 		LocalMAC:  dp.cfg.MAC,
 		Now:       func() int64 { return int64(dp.eng.Now()) },
 		Wheel:     et.wheel,
-		SendFrame: func(f []byte) { et.outFrames = append(et.outFrames, f) },
+		SendFrame: func(f *fabric.Frame) { et.outFrames = append(et.outFrames, f) },
 		Events:    (*threadEvents)(et),
 		ARP:       dp.arp,
 		Seed:      dp.cfg.Seed + uint64(id)*0x9e3779b97f4a7c15,
@@ -138,7 +153,7 @@ func (et *ElasticThread) wake() {
 		et.idleWake = nil
 	}
 	et.cycleActive = true
-	et.core.Submit(sim.ClassDataplane, et.cycle)
+	et.core.Submit(sim.ClassDataplane, et.cycleFn)
 }
 
 // cycle is one run-to-completion iteration (Fig. 1b): (1) poll the RX
@@ -169,12 +184,15 @@ func (et *ElasticThread) cycle(m *sim.Meter) {
 		m.Charge(c.DescriptorPost)
 	}
 
-	// (2) Protocol processing, generating event conditions.
+	// (2) Protocol processing, generating event conditions. Each frame's
+	// bytes are copied into a posted mbuf (the simulated DMA write) and
+	// the wire buffer returns to its sender's pool.
 	missNs := et.dp.missPenalty()
 	for _, f := range frames {
 		buf := et.pool.Alloc()
 		if buf == nil {
 			et.PoolDrops++
+			f.Release()
 			continue
 		}
 		buf.SetData(f.Data)
@@ -183,6 +201,7 @@ func (et *ElasticThread) cycle(m *sim.Meter) {
 		m.Charge(c.ProtoRxByte.Cost(len(f.Data)))
 		m.Charge(c.CopyPerByte.Cost(len(f.Data))) // zero-copy ablation only
 		m.Charge(missNs)
+		f.Release()
 		et.ns.Input(buf)
 		buf.Unref()
 	}
@@ -195,8 +214,10 @@ func (et *ElasticThread) cycle(m *sim.Meter) {
 		m.ChargeN(len(et.events), c.EventCond)
 		events := et.events
 		results := et.results
-		et.events = nil
-		et.results = nil
+		et.events = et.evSpare[:0]
+		et.results = et.resSpare[:0]
+		et.evSpare = nil
+		et.resSpare = nil
 		preUser := m.Elapsed()
 		m.Charge(et.pendingCharge)
 		et.pendingCharge = 0
@@ -209,20 +230,31 @@ func (et *ElasticThread) cycle(m *sim.Meter) {
 			et.NonResponsive = true
 			et.dp.notifyNonResponsive(et)
 		}
-		// Recycle event entries (pool-allocated in spirit).
+		// Recycle the consumed arrays (pool-allocated in spirit): zero the
+		// entries to drop mbuf/cookie references, keep the storage.
 		for i := range events {
 			events[i] = Event{}
 		}
+		et.evSpare = events[:0]
+		for i := range results {
+			results[i] = SyscallResult{}
+		}
+		et.resSpare = results[:0]
 	}
 
 	// (4) Process the batched system calls, writing return codes back.
 	if len(et.syscalls) > 0 {
 		batch := et.syscalls
-		et.syscalls = nil
+		et.syscalls = et.sysSpare[:0]
+		et.sysSpare = nil
 		for i := range batch {
 			m.Charge(c.Syscall)
 			et.results = append(et.results, et.dispatch(&batch[i], m))
 		}
+		for i := range batch {
+			batch[i] = Syscall{}
+		}
+		et.sysSpare = batch[:0]
 	}
 
 	// (5) Run kernel timers for TCP compliance.
@@ -240,16 +272,26 @@ func (et *ElasticThread) cycle(m *sim.Meter) {
 
 	// (6) Outgoing frames hit the TX descriptor ring at cycle end; the
 	// NIC DMA-reads them directly from mbuf memory (zero-copy).
-	out := et.outFrames
-	et.outFrames = nil
-	m.AtEnd(func() {
-		for _, f := range out {
-			if et.txq.Post(f) {
-				et.TxPackets++
-			}
+	et.txPending = et.outFrames
+	et.outFrames = et.txSpare[:0]
+	et.txSpare = nil
+	m.AtEndCall(cycleFinish, et)
+}
+
+// cycleFinish runs at the cycle's virtual end time: post the cycle's
+// frames, recycle the slice backing, and decide whether to run again.
+func cycleFinish(a any) {
+	et := a.(*ElasticThread)
+	out := et.txPending
+	et.txPending = nil
+	for i, f := range out {
+		if et.txq.Post(f) {
+			et.TxPackets++
 		}
-		et.cycleEnd()
-	})
+		out[i] = nil
+	}
+	et.txSpare = out[:0]
+	et.cycleEnd()
 }
 
 // cycleEnd decides between another immediate cycle and quiescence.

@@ -3,6 +3,12 @@
 // switch (the paper's Quanta/Cumulus 48x10GbE with a Broadcom Trident+
 // ASIC) including LACP-style bond groups that hash on L3+L4, which is how
 // the 4x10GbE server configuration is built (§5.1).
+//
+// Frames are reference-carrying objects: a sender allocates one from its
+// FramePool, the same object travels every hop (host → switch → host), and
+// the final consumer calls Release to hand the buffer back to the
+// originating pool. On the steady-state path no per-frame memory is
+// allocated.
 package fabric
 
 import (
@@ -27,16 +33,89 @@ const (
 	NICLatency = 1500 * time.Nanosecond
 )
 
+// FrameCap is the buffer capacity of pooled frames: a full MTU frame with
+// L2 framing and slack. Larger frames fall back to one-off allocations.
+const FrameCap = 1600
+
 // A Frame is a packet in flight with its arrival timestamp metadata.
+// Frames allocated from a FramePool are recycled: whoever consumes the
+// frame (receiving stack, dropping queue, flooding switch) must call
+// Release exactly once.
 type Frame struct {
 	Data []byte
 	// SentAt is when the sender posted the frame (for diagnostics).
 	SentAt sim.Time
+
+	buf  []byte // full-capacity backing storage of pooled frames
+	pool *FramePool
+	free bool
+
+	// In-flight routing state, so delivery and switch forwarding run as
+	// pooled one-shot engine events without closure allocations.
+	dst *Port // delivery target (set while traversing a link)
+	via *Port // egress port (set while crossing the switch)
+}
+
+// NewFrame wraps data in an unpooled frame (tests, broadcast replication).
+// Release on an unpooled frame is a no-op.
+func NewFrame(data []byte) *Frame { return &Frame{Data: data} }
+
+// Release returns a pooled frame's buffer to its originating pool. It must
+// be called exactly once by the frame's final consumer; double release
+// panics (the moral equivalent of a double free).
+func (f *Frame) Release() {
+	if f == nil || f.pool == nil {
+		return
+	}
+	if f.free {
+		panic("fabric: frame double release")
+	}
+	f.free = true
+	f.dst, f.via = nil, nil
+	f.pool.free = append(f.pool.free, f)
+}
+
+// A FramePool recycles frame buffers for one sender (a network stack
+// instance). All simulation runs on one goroutine, so returning a frame
+// from the receiving host's context is safe.
+type FramePool struct {
+	free []*Frame
+
+	// Stats: Gets counts allocations served, News counts fresh buffers
+	// (pool misses and oversized frames).
+	Gets, News uint64
+}
+
+// NewFramePool returns an empty pool.
+func NewFramePool() *FramePool { return &FramePool{} }
+
+// Get returns a frame with an n-byte Data slice. The bytes are NOT zeroed:
+// callers are expected to write the full frame (every producer in this
+// repository marshals headers and payload over the entire length).
+func (p *FramePool) Get(n int) *Frame {
+	p.Gets++
+	if n > FrameCap {
+		p.News++
+		return &Frame{Data: make([]byte, n), pool: p}
+	}
+	if ln := len(p.free); ln > 0 {
+		f := p.free[ln-1]
+		p.free[ln-1] = nil
+		p.free = p.free[:ln-1]
+		f.free = false
+		f.Data = f.buf[:n]
+		return f
+	}
+	p.News++
+	f := &Frame{buf: make([]byte, FrameCap), pool: p}
+	f.Data = f.buf[:n]
+	return f
 }
 
 // An Endpoint consumes frames delivered by a link.
 type Endpoint interface {
-	// Deliver is invoked at the frame's arrival time.
+	// Deliver is invoked at the frame's arrival time. The endpoint takes
+	// ownership of the frame and must eventually Release it.
 	Deliver(f *Frame)
 }
 
@@ -59,30 +138,38 @@ func (p *Port) Attach(ep Endpoint) { p.ep = ep }
 // Peer returns the port at the other end of the link.
 func (p *Port) Peer() *Port { return &p.link.ports[1-p.side] }
 
-// Send transmits data out of the port. Serialization at the link rate and
-// propagation delay determine the arrival time at the peer endpoint. The
-// data is not copied; callers hand over ownership (the simulated DMA
-// engine has already copied out of mbufs at the NIC).
-func (p *Port) Send(data []byte) {
+// deliverFrame is the arrival trampoline for Port.Send's pooled event.
+func deliverFrame(a any) {
+	f := a.(*Frame)
+	dst := f.dst
+	f.dst = nil
+	if dst.ep != nil {
+		dst.ep.Deliver(f)
+	} else {
+		f.Release()
+	}
+}
+
+// Send transmits the frame out of the port. Serialization at the link rate
+// and propagation delay determine the arrival time at the peer endpoint.
+// The caller hands over ownership of the frame (the simulated DMA engine
+// has already copied out of mbufs at the NIC).
+func (p *Port) Send(f *Frame) {
 	l := p.link
 	now := l.eng.Now()
 	start := now
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
-	ser := l.serialize(len(data))
+	ser := l.serialize(len(f.Data))
 	depart := start.Add(ser)
 	p.busyUntil = depart
 	p.TxFrames++
-	p.TxBytes += uint64(len(data))
+	p.TxBytes += uint64(len(f.Data))
 	arrive := depart.Add(l.latency)
-	peer := p.Peer()
-	f := &Frame{Data: data, SentAt: now}
-	l.eng.At(arrive, func() {
-		if peer.ep != nil {
-			peer.ep.Deliver(f)
-		}
-	})
+	f.SentAt = now
+	f.dst = p.Peer()
+	l.eng.Call(arrive, deliverFrame, f)
 }
 
 // Busy returns the time until which the port's transmit side is
@@ -175,9 +262,19 @@ func (s *Switch) Bond(mac wire.MAC, idxs []int) {
 	s.bonds[mac] = append([]int(nil), idxs...)
 }
 
+// forwardFrame is the cut-through trampoline: the frame leaves through the
+// egress port chosen by forward.
+func forwardFrame(a any) {
+	f := a.(*Frame)
+	out := f.via
+	f.via = nil
+	out.Send(f)
+}
+
 func (s *Switch) forward(in int, f *Frame) {
 	var eth wire.EthHeader
 	if err := eth.Unmarshal(f.Data); err != nil {
+		f.Release()
 		return
 	}
 	out := -1
@@ -186,11 +283,14 @@ func (s *Switch) forward(in int, f *Frame) {
 	} else if idx, ok := s.fdb[eth.Dst]; ok {
 		out = idx
 	} else if eth.Dst == wire.Broadcast {
-		// Broadcast (ARP): replicate to all ports except ingress.
+		// Broadcast (ARP): replicate to all ports except ingress. The
+		// replicas are unpooled frames sharing the payload bytes, so the
+		// original is detached from its pool (rare control-plane path).
+		f.pool = nil
 		s.eng.After(s.latency, func() {
 			for i, sp := range s.ports {
 				if i != in {
-					sp.port.Send(f.Data)
+					sp.port.Send(NewFrame(f.Data))
 				}
 			}
 		})
@@ -199,11 +299,12 @@ func (s *Switch) forward(in int, f *Frame) {
 	}
 	if out < 0 || out == in {
 		s.Flooded++
+		f.Release()
 		return
 	}
 	s.Forwarded++
-	sp := s.ports[out]
-	s.eng.After(s.latency, func() { sp.port.Send(f.Data) })
+	f.via = s.ports[out].port
+	s.eng.CallAfter(s.latency, forwardFrame, f)
 }
 
 // l3l4Hash is the bond-member selection hash: a cheap fold over the IPv4

@@ -25,7 +25,7 @@ func TestLinkSerializationAndLatency(t *testing.T) {
 	rx := &sink{eng: eng}
 	l.Port(1).Attach(rx)
 	// A 1000-byte frame: wire length 1024B → 819.2ns at 10Gbps.
-	l.Port(0).Send(make([]byte, 1000))
+	l.Port(0).Send(NewFrame(make([]byte, 1000)))
 	eng.Run()
 	if len(rx.frames) != 1 {
 		t.Fatal("frame not delivered")
@@ -43,7 +43,7 @@ func TestLinkBackToBackOrdering(t *testing.T) {
 	rx := &sink{eng: eng}
 	l.Port(1).Attach(rx)
 	for i := 0; i < 5; i++ {
-		l.Port(0).Send(make([]byte, 1500))
+		l.Port(0).Send(NewFrame(make([]byte, 1500)))
 	}
 	eng.Run()
 	if len(rx.frames) != 5 {
@@ -79,7 +79,7 @@ func TestSwitchForwarding(t *testing.T) {
 	sw.Learn(macB, pb)
 	rxB := &sink{eng: eng}
 	lb.Port(0).Attach(rxB)
-	la.Port(0).Send(frameTo(macB, macA))
+	la.Port(0).Send(NewFrame(frameTo(macB, macA)))
 	eng.Run()
 	if len(rxB.frames) != 1 {
 		t.Fatal("frame not switched to B")
@@ -94,7 +94,7 @@ func TestSwitchUnknownDstDropped(t *testing.T) {
 	sw := NewSwitch(eng)
 	la := NewLink(eng, 10*Gbps, time.Microsecond)
 	sw.AddPort(la.Port(1))
-	la.Port(0).Send(frameTo(wire.MAC{9, 9, 9, 9, 9, 9}, wire.MAC{1, 1, 1, 1, 1, 1}))
+	la.Port(0).Send(NewFrame(frameTo(wire.MAC{9, 9, 9, 9, 9, 9}, wire.MAC{1, 1, 1, 1, 1, 1})))
 	eng.Run()
 	if sw.Flooded != 1 {
 		t.Fatalf("flooded = %d, want 1", sw.Flooded)
@@ -114,7 +114,7 @@ func TestSwitchBroadcast(t *testing.T) {
 		rxs = append(rxs, rx)
 		links = append(links, l)
 	}
-	links[0].Port(0).Send(frameTo(wire.Broadcast, wire.MAC{1, 1, 1, 1, 1, 1}))
+	links[0].Port(0).Send(NewFrame(frameTo(wire.Broadcast, wire.MAC{1, 1, 1, 1, 1, 1})))
 	eng.Run()
 	if len(rxs[0].frames) != 0 {
 		t.Fatal("broadcast echoed to ingress")
@@ -149,7 +149,7 @@ func TestBondSpreadsFlows(t *testing.T) {
 		iph.Marshal(f[wire.EthHdrLen:])
 		th := wire.TCPHeader{SrcPort: uint16(30000 + port), DstPort: 80, WScale: -1}
 		th.Marshal(f[wire.EthHdrLen+wire.IPv4HdrLen:])
-		in.Port(0).Send(f)
+		in.Port(0).Send(NewFrame(f))
 	}
 	eng.Run()
 	spread := 0

@@ -24,6 +24,10 @@ type EchoSetup struct {
 	ConnsPerThread int
 	// Outstanding enables §5.4 rotation mode when non-zero.
 	Outstanding int
+	// RampBatch/RampGap pace connection establishment (see
+	// echo.ClientConfig); zero means the echo defaults.
+	RampBatch int
+	RampGap   time.Duration
 	// Rounds is n round trips per connection before RST (0 = infinite).
 	Rounds  int
 	MsgSize int
@@ -47,6 +51,9 @@ type EchoResult struct {
 	Drops             uint64
 	// KernelPerMsg is server kernel time per delivered message (IX only).
 	KernelPerMsg time.Duration
+	// ServerConns is the server's live connection count at window end
+	// (the established-connection axis of Fig. 4).
+	ServerConns int
 }
 
 // RunEcho builds a cluster per setup, warms it, measures a window, and
@@ -81,6 +88,8 @@ func RunEcho(s EchoSetup) EchoResult {
 				Rounds:      s.Rounds,
 				Conns:       s.ConnsPerThread,
 				Outstanding: s.Outstanding,
+				RampBatch:   s.RampBatch,
+				RampGap:     s.RampGap,
 				Metrics:     m,
 			}),
 		})
@@ -100,6 +109,14 @@ func RunEcho(s EchoSetup) EchoResult {
 		RTTMean:     m.Latency.Mean(),
 	}
 	res.GoodputBps = res.MsgsPerSec * float64(s.MsgSize) * 8
+	switch s.ServerArch {
+	case ArchIX:
+		res.ServerConns = cl.IXServer(0).ConnCount()
+	case ArchLinux:
+		res.ServerConns = cl.LinuxHost(0).ConnCount()
+	case ArchMTCP:
+		res.ServerConns = cl.MTCPHost(0).ConnCount()
+	}
 	if s.ServerArch == ArchIX {
 		dp := cl.IXServer(0)
 		k, u := dp.CPUBreakdown()

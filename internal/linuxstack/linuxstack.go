@@ -20,6 +20,7 @@ import (
 
 	"ix/internal/app"
 	"ix/internal/cost"
+	"ix/internal/fabric"
 	"ix/internal/mem"
 	"ix/internal/netstack"
 	"ix/internal/nicsim"
@@ -78,6 +79,13 @@ type Host struct {
 
 	listening map[uint16]bool
 	timerWake *sim.Event
+	// timerRanAt is the instant the kernel timer task last ran, to stop
+	// an idle core from re-arming a same-instant wake for a deadline the
+	// wheel cannot fire until its next tick boundary (a livelock).
+	timerRanAt sim.Time
+	// Bound callbacks, created once (closures allocate).
+	timerFired func()
+	timerTask  func(*sim.Meter)
 }
 
 // New builds a Linux host. Attach NIC ports before Start.
@@ -95,12 +103,15 @@ func New(eng *sim.Engine, cfg Config) *Host {
 		cfg.MemPages = 512
 	}
 	h := &Host{
-		eng:       eng,
-		cfg:       cfg,
-		arp:       netstack.NewARPTable(),
-		region:    mem.NewRegion(cfg.MemPages),
-		listening: make(map[uint16]bool),
+		eng:        eng,
+		cfg:        cfg,
+		arp:        netstack.NewARPTable(),
+		region:     mem.NewRegion(cfg.MemPages),
+		listening:  make(map[uint16]bool),
+		timerRanAt: -1,
 	}
+	h.timerFired = h.onTimerWake
+	h.timerTask = h.runTimerTask
 	h.nic = nicsim.New(eng, cfg.MAC, nicsim.Config{
 		Queues:   cfg.Cores,
 		RingSize: cfg.NICRing,
@@ -112,7 +123,7 @@ func New(eng *sim.Engine, cfg Config) *Host {
 		LocalMAC: cfg.MAC,
 		Now:      func() int64 { return int64(eng.Now()) },
 		Wheel:    h.wheel,
-		SendFrame: func(f []byte) {
+		SendFrame: func(f *fabric.Frame) {
 			c := h.cur
 			if c == nil {
 				c = h.cores[0]
@@ -186,9 +197,17 @@ func (h *Host) ensureTimerWake() {
 	if !ok {
 		return
 	}
+	now := h.eng.Now()
 	at := sim.Time(nd)
-	if at < h.eng.Now() {
-		at = h.eng.Now()
+	if at < now {
+		at = now
+	}
+	if at == now && h.timerRanAt == now {
+		// The timer task just ran at this instant and the earliest
+		// deadline still lies inside the wheel's current tick: the wheel
+		// cannot fire it before the next tick boundary. Re-arming at now
+		// would spin an idle core forever at one virtual instant.
+		at = sim.Time(h.wheel.NextTickTime())
 	}
 	if h.timerWake != nil {
 		if h.timerWake.At() <= at {
@@ -196,19 +215,26 @@ func (h *Host) ensureTimerWake() {
 		}
 		h.eng.Cancel(h.timerWake)
 	}
-	h.timerWake = h.eng.At(at, func() {
-		h.timerWake = nil
-		k := h.cores[0]
-		k.core.Submit(sim.ClassKernel, func(m *sim.Meter) {
-			h.cur = k
-			k.curMeter = m
-			h.wheel.Advance(int64(h.eng.Now()))
-			h.ns.Flush()
-			k.curMeter = nil
-			h.cur = nil
-			k.drainAtEnd(m)
-		})
-	})
+	h.timerWake = h.eng.At(at, h.timerFired)
+}
+
+// onTimerWake fires the scheduled kernel timer tick.
+func (h *Host) onTimerWake() {
+	h.timerWake = nil
+	h.cores[0].core.Submit(sim.ClassKernel, h.timerTask)
+}
+
+// runTimerTask advances the kernel wheel in softirq context on core 0.
+func (h *Host) runTimerTask(m *sim.Meter) {
+	k := h.cores[0]
+	h.cur = k
+	k.curMeter = m
+	h.timerRanAt = h.eng.Now()
+	h.wheel.Advance(int64(h.eng.Now()))
+	h.ns.Flush()
+	k.curMeter = nil
+	h.cur = nil
+	k.drainAtEnd(m)
 }
 
 // kcore is one core: a NAPI softirq context plus the pinned app thread.
@@ -225,10 +251,21 @@ type kcore struct {
 
 	// epoll state.
 	readyQ     []*sock
+	readyHead  int
 	appRunning bool
 	napiQueued bool
 
-	outFrames [][]byte
+	// outFrames accumulates frames for the running task; txPending/
+	// txSpare ping-pong the backing array through the AtEnd post step.
+	outFrames []*fabric.Frame
+	txPending []*fabric.Frame
+	txSpare   []*fabric.Frame
+	napiMore  bool
+
+	// Bound methods, created once (method values allocate).
+	napiFn   func(*sim.Meter)
+	appRunFn func(*sim.Meter)
+
 	curMeter  *sim.Meter
 	sysKernel time.Duration
 
@@ -243,6 +280,8 @@ func newKcore(h *Host, id int) *kcore {
 		core: sim.NewCore(h.eng, id),
 		pool: mem.NewMbufPool(h.region, id),
 	}
+	k.napiFn = k.napiPoll
+	k.appRunFn = k.appRun
 	k.core.CtxSwitch = h.cfg.Cost.CtxSwitch
 	k.rxq = h.nic.RxQueue(id)
 	k.txq = h.nic.TxQueue(id)
@@ -261,16 +300,62 @@ func (k *kcore) chargeK(d time.Duration) {
 	k.sysKernel += d
 }
 
+// stageTx moves the task's accumulated frames into the pending-post slot
+// (the backing arrays ping-pong, so steady state does not allocate).
+func (k *kcore) stageTx() {
+	k.txPending = k.outFrames
+	k.outFrames = k.txSpare[:0]
+	k.txSpare = nil
+}
+
+// postTx posts the staged frames at task end and recycles the backing.
+func (k *kcore) postTx() {
+	out := k.txPending
+	k.txPending = nil
+	for i, f := range out {
+		k.txq.Post(f)
+		out[i] = nil
+	}
+	k.txSpare = out[:0]
+}
+
+// AtEnd trampolines (pooled events, no closures).
+func kEndTimer(a any) {
+	k := a.(*kcore)
+	k.postTx()
+	k.h.ensureTimerWake()
+}
+
+func kEndNapi(a any) {
+	k := a.(*kcore)
+	k.postTx()
+	if k.napiMore {
+		k.scheduleNAPI()
+	} else {
+		k.rxq.EnableInterrupt()
+	}
+	k.h.ensureTimerWake()
+}
+
+func kEndApp(a any) {
+	k := a.(*kcore)
+	k.postTx()
+	k.appRunning = false
+	k.maybeWakeApp() // events may have landed while we ran
+	k.h.ensureTimerWake()
+}
+
+func kEndTask(a any) {
+	k := a.(*kcore)
+	k.postTx()
+	k.maybeWakeApp()
+	k.h.ensureTimerWake()
+}
+
 // drainAtEnd posts accumulated frames at task end.
 func (k *kcore) drainAtEnd(m *sim.Meter) {
-	out := k.outFrames
-	k.outFrames = nil
-	m.AtEnd(func() {
-		for _, f := range out {
-			k.txq.Post(f)
-		}
-		k.h.ensureTimerWake()
-	})
+	k.stageTx()
+	m.AtEndCall(kEndTimer, k)
 }
 
 // hardIRQ is the NIC interrupt: schedule softirq (NAPI) on this core.
@@ -284,7 +369,7 @@ func (k *kcore) scheduleNAPI() {
 		return
 	}
 	k.napiQueued = true
-	k.core.Submit(sim.ClassKernel, k.napiPoll)
+	k.core.Submit(sim.ClassKernel, k.napiFn)
 }
 
 // napiPoll is one softirq poll round: up to the budget of packets through
@@ -303,9 +388,11 @@ func (k *kcore) napiPoll(m *sim.Meter) {
 	for _, f := range frames {
 		buf := k.pool.Alloc()
 		if buf == nil {
+			f.Release()
 			continue
 		}
 		buf.SetData(f.Data)
+		f.Release()
 		d := c.SoftIRQPerPkt + miss
 		m.Charge(d)
 		k.kernelNs += int64(d)
@@ -319,20 +406,9 @@ func (k *kcore) napiPoll(m *sim.Meter) {
 	h.ns.Flush()
 	k.curMeter = nil
 	h.cur = nil
-	out := k.outFrames
-	k.outFrames = nil
-	more := k.rxq.Len() > 0
-	m.AtEnd(func() {
-		for _, f := range out {
-			k.txq.Post(f)
-		}
-		if more {
-			k.scheduleNAPI()
-		} else {
-			k.rxq.EnableInterrupt()
-		}
-		h.ensureTimerWake()
-	})
+	k.napiMore = k.rxq.Len() > 0
+	k.stageTx()
+	m.AtEndCall(kEndNapi, k)
 }
 
 // enqueueReady marks a socket eventful and wakes its owning core's app
@@ -346,12 +422,12 @@ func (k *kcore) enqueueReady(s *sock) {
 }
 
 func (k *kcore) maybeWakeApp() {
-	if k.appRunning || len(k.readyQ) == 0 {
+	if k.appRunning || k.readyHead >= len(k.readyQ) {
 		return
 	}
 	k.appRunning = true
 	// Scheduler wakeup latency for the blocked, pinned thread.
-	k.core.SubmitAfter(k.h.cfg.Cost.WakeupLatency, sim.ClassUser, k.appRun)
+	k.core.SubmitAfter(k.h.cfg.Cost.WakeupLatency, sim.ClassUser, k.appRunFn)
 }
 
 // appRun is the application thread resuming from epoll_wait.
@@ -364,9 +440,14 @@ func (k *kcore) appRun(m *sim.Meter) {
 	k.chargeK(c.SyscallEntry) // epoll_wait return
 	userStart := m.Elapsed()
 	preKernel := k.sysKernel
-	for len(k.readyQ) > 0 {
-		s := k.readyQ[0]
-		k.readyQ = k.readyQ[1:]
+	for k.readyHead < len(k.readyQ) {
+		s := k.readyQ[k.readyHead]
+		k.readyQ[k.readyHead] = nil
+		k.readyHead++
+		if k.readyHead == len(k.readyQ) {
+			k.readyQ = k.readyQ[:0]
+			k.readyHead = 0
+		}
 		s.inReady = false
 		k.chargeK(c.EpollDispatch)
 		k.dispatch(s)
@@ -377,16 +458,8 @@ func (k *kcore) appRun(m *sim.Meter) {
 	}
 	k.curMeter = nil
 	h.cur = nil
-	out := k.outFrames
-	k.outFrames = nil
-	m.AtEnd(func() {
-		for _, f := range out {
-			k.txq.Post(f)
-		}
-		k.appRunning = false
-		k.maybeWakeApp() // events may have landed while we ran
-		h.ensureTimerWake()
-	})
+	k.stageTx()
+	m.AtEndCall(kEndApp, k)
 }
 
 // dispatch delivers one ready socket's events to the application.
@@ -404,13 +477,20 @@ func (k *kcore) dispatch(s *sock) {
 			return
 		}
 	}
-	for len(s.rcvbuf) > 0 {
-		n := len(s.rcvbuf)
+	for s.rcvOff < len(s.rcvbuf) {
+		n := len(s.rcvbuf) - s.rcvOff
 		if n > readChunk {
 			n = readChunk
 		}
-		chunk := s.rcvbuf[:n]
-		s.rcvbuf = s.rcvbuf[n:]
+		chunk := s.rcvbuf[s.rcvOff : s.rcvOff+n]
+		s.rcvOff += n
+		if s.rcvOff == len(s.rcvbuf) {
+			// Fully drained: reuse the backing array for future arrivals.
+			// chunk stays valid through the OnRecv call below — nothing
+			// can append to rcvbuf while the app thread occupies the core.
+			s.rcvbuf = s.rcvbuf[:0]
+			s.rcvOff = 0
+		}
 		k.chargeK(c.SyscallEntry + c.SockRead + c.CopyPerByte.Cost(n))
 		if s.conn != nil {
 			s.conn.RecvDone(n) // window opens as the app consumes
@@ -419,9 +499,6 @@ func (k *kcore) dispatch(s *sock) {
 		if s.dead {
 			return
 		}
-	}
-	if len(s.rcvbuf) == 0 {
-		s.rcvbuf = nil
 	}
 	if s.sentPending > 0 {
 		n := s.sentPending
@@ -488,15 +565,8 @@ func (k *kcore) runAppTask(fn func()) {
 		fn()
 		k.curMeter = nil
 		k.h.cur = nil
-		out := k.outFrames
-		k.outFrames = nil
-		m.AtEnd(func() {
-			for _, f := range out {
-				k.txq.Post(f)
-			}
-			k.maybeWakeApp()
-			k.h.ensureTimerWake()
-		})
+		k.stageTx()
+		m.AtEndCall(kEndTask, k)
 	})
 }
 

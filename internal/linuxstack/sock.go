@@ -21,8 +21,10 @@ type sock struct {
 	conn   *tcp.Conn
 	cookie any
 
-	// rcvbuf holds bytes copied out of skbs, awaiting read().
+	// rcvbuf holds bytes copied out of skbs, awaiting read(); rcvOff is
+	// the read cursor (the backing array is reused once drained).
 	rcvbuf []byte
+	rcvOff int
 	// sndbuf holds bytes written by the app beyond the TCP window.
 	sndbuf []byte
 

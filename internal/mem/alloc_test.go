@@ -1,0 +1,38 @@
+package mem
+
+import "testing"
+
+// Steady-state mbuf churn (alloc → fill → free, the per-packet pattern)
+// must not allocate once the pool is provisioned.
+
+func TestZeroAllocMbufAllocFree(t *testing.T) {
+	pool := NewMbufPool(NewRegion(8), 0)
+	// Provision: a burst deep enough to cover the benchmark's working set.
+	var warm []*Mbuf
+	for i := 0; i < 64; i++ {
+		warm = append(warm, pool.Alloc())
+	}
+	for _, m := range warm {
+		m.Unref()
+	}
+	payload := make([]byte, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		m := pool.Alloc()
+		m.SetData(payload)
+		m.Unref()
+	})
+	if allocs != 0 {
+		t.Fatalf("mbuf alloc/free allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkMbufAllocFree(b *testing.B) {
+	pool := NewMbufPool(NewRegion(8), 0)
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := pool.Alloc()
+		m.SetData(payload)
+		m.Unref()
+	}
+}

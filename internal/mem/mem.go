@@ -149,14 +149,17 @@ func (m *Mbuf) Unref() {
 }
 
 // MbufPool is a per-thread pool of mbufs provisioned from a Region in
-// page-sized blocks.
+// page-sized blocks. Page accounting happens at page granularity, but the
+// Mbuf objects themselves materialize lazily on first use — provisioning
+// a pool does not zero 2 MB of buffers up front.
 type MbufPool struct {
 	region *Region
 	free   []*Mbuf
 	// Owner tags buffers allocated from this pool.
 	Owner int
 
-	allocated int // total mbufs provisioned
+	allocated int // mbufs backed by taken pages (page granularity)
+	spare     int // page-backed mbufs not yet materialized
 	inUse     int
 
 	// Stats.
@@ -177,18 +180,23 @@ func NewMbufPool(region *Region, owner int) *MbufPool {
 // exhausted (the caller drops the packet, as real IX drops when a pool
 // runs dry).
 func (p *MbufPool) Alloc() *Mbuf {
-	if len(p.free) == 0 {
-		if !p.region.TakePage() {
-			p.Exhausted++
-			return nil
+	var m *Mbuf
+	if n := len(p.free); n > 0 {
+		m = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		if p.spare == 0 {
+			if !p.region.TakePage() {
+				p.Exhausted++
+				return nil
+			}
+			p.spare = mbufsPerPage
+			p.allocated += mbufsPerPage
 		}
-		for i := 0; i < mbufsPerPage; i++ {
-			p.free = append(p.free, &Mbuf{pool: p, Owner: p.Owner})
-		}
-		p.allocated += mbufsPerPage
+		p.spare--
+		m = &Mbuf{pool: p, Owner: p.Owner}
 	}
-	m := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
 	m.Reset()
 	m.refs = 1
 	m.ReadOnly = false

@@ -17,6 +17,7 @@ import (
 
 	"ix/internal/app"
 	"ix/internal/cost"
+	"ix/internal/fabric"
 	"ix/internal/mem"
 	"ix/internal/netstack"
 	"ix/internal/nicsim"
@@ -145,8 +146,15 @@ type mcore struct {
 	tcpPending bool
 	tcpQueued  bool // a TCP round is scheduled right now
 
-	outFrames [][]byte
+	outFrames []*fabric.Frame
+	txPending []*fabric.Frame
+	txSpare   []*fabric.Frame
+	tcpMore   bool
 	curMeter  *sim.Meter
+
+	// Bound callbacks, created once (method values allocate).
+	tcpFn      func(*sim.Meter)
+	timerFired func()
 
 	timerWake *sim.Event
 }
@@ -159,6 +167,8 @@ func newMcore(h *Host, id int) *mcore {
 		pool:  mem.NewMbufPool(h.region, id),
 		wheel: timerwheel.New(timerwheel.DefaultTick, int64(h.eng.Now())),
 	}
+	m.tcpFn = m.tcpRound
+	m.timerFired = m.onTimerWake
 	m.rxq = h.nic.RxQueue(id)
 	m.txq = h.nic.TxQueue(id)
 	m.rxq.Mode = nicsim.ModePoll
@@ -168,7 +178,7 @@ func newMcore(h *Host, id int) *mcore {
 		LocalMAC:  h.cfg.MAC,
 		Now:       func() int64 { return int64(h.eng.Now()) },
 		Wheel:     m.wheel,
-		SendFrame: func(f []byte) { m.outFrames = append(m.outFrames, f) },
+		SendFrame: func(f *fabric.Frame) { m.outFrames = append(m.outFrames, f) },
 		Events:    (*mtcpEvents)(m),
 		ARP:       h.arp,
 		Seed:      h.cfg.Seed + uint64(id)*0x9e3779b97f4a7c15,
@@ -191,7 +201,7 @@ func (m *mcore) wakeTCP() {
 		return
 	}
 	m.tcpQueued = true
-	m.core.Submit(sim.ClassTCPThread, m.tcpRound)
+	m.core.Submit(sim.ClassTCPThread, m.tcpFn)
 }
 
 // tcpRound is one TCP-thread iteration: drain the job queue from the app,
@@ -217,9 +227,11 @@ func (m *mcore) tcpRound(meter *sim.Meter) {
 	for _, f := range frames {
 		buf := m.pool.Alloc()
 		if buf == nil {
+			f.Release()
 			continue
 		}
 		buf.SetData(f.Data)
+		f.Release()
 		meter.Charge(c.ProtoRx + miss)
 		m.ns.Input(buf)
 		buf.Unref()
@@ -228,19 +240,29 @@ func (m *mcore) tcpRound(meter *sim.Meter) {
 	// mTCP acks from the TCP thread, independent of the app.
 	m.ns.Flush()
 	m.curMeter = nil
-	out := m.outFrames
-	m.outFrames = nil
-	more := m.rxq.Len() > 0
-	meter.AtEnd(func() {
-		for _, f := range out {
-			m.txq.Post(f)
-		}
-		if more || m.tcpPending {
-			m.wakeTCP()
-		}
-		m.ensureTimerWake()
-		m.kickApp()
-	})
+	m.tcpMore = m.rxq.Len() > 0
+	m.txPending = m.outFrames
+	m.outFrames = m.txSpare[:0]
+	m.txSpare = nil
+	meter.AtEndCall(mEndTCPRound, m)
+}
+
+// mEndTCPRound posts the round's frames and re-arms polling (pooled
+// one-shot end action, no closure).
+func mEndTCPRound(a any) {
+	m := a.(*mcore)
+	out := m.txPending
+	m.txPending = nil
+	for i, f := range out {
+		m.txq.Post(f)
+		out[i] = nil
+	}
+	m.txSpare = out[:0]
+	if m.tcpMore || m.tcpPending {
+		m.wakeTCP()
+	}
+	m.ensureTimerWake()
+	m.kickApp()
 }
 
 // queueJob hands work to the TCP thread; it runs after the batched
@@ -305,7 +327,10 @@ func (m *mcore) dispatch(mc *mconn, meter *sim.Meter) {
 	}
 	for len(mc.rcvbuf) > 0 {
 		chunk := mc.rcvbuf
-		mc.rcvbuf = nil
+		// Reuse the backing array for future arrivals; chunk stays valid
+		// through the OnRecv call (the TCP thread cannot append while the
+		// app thread occupies the core).
+		mc.rcvbuf = mc.rcvbuf[:0]
 		// mtcp_read: API call + copy into the app buffer.
 		meter.Charge(c.AppCall + c.CopyPerByte.Cost(len(chunk)))
 		mc.conn.RecvDone(len(chunk))
@@ -347,10 +372,13 @@ func (m *mcore) ensureTimerWake() {
 		}
 		m.h.eng.Cancel(m.timerWake)
 	}
-	m.timerWake = m.h.eng.At(at, func() {
-		m.timerWake = nil
-		m.wakeTCP()
-	})
+	m.timerWake = m.h.eng.At(at, m.timerFired)
+}
+
+// onTimerWake fires the scheduled retransmission tick.
+func (m *mcore) onTimerWake() {
+	m.timerWake = nil
+	m.wakeTCP()
 }
 
 // env returns the app.Env for this core.

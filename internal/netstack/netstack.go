@@ -9,6 +9,7 @@ package netstack
 import (
 	"time"
 
+	"ix/internal/fabric"
 	"ix/internal/mem"
 	"ix/internal/tcp"
 	"ix/internal/timerwheel"
@@ -63,8 +64,9 @@ type Config struct {
 	// Wheel is the per-thread timer wheel (shared with TCP).
 	Wheel *timerwheel.Wheel
 	// SendFrame transmits an assembled L2 frame (to the thread's NIC TX
-	// queue).
-	SendFrame func(frame []byte)
+	// queue). The frame comes from the stack's frame pool; whoever
+	// consumes it on the receiving side releases it.
+	SendFrame func(frame *fabric.Frame)
 	// Events receives TCP protocol events.
 	Events tcp.Events
 	// ARP is the host-shared ARP table.
@@ -82,12 +84,13 @@ type Config struct {
 
 // Stack is one per-core network stack instance.
 type Stack struct {
-	cfg Config
-	tcp *tcp.Stack
-	udp map[uint16]UDPHandler
+	cfg    Config
+	tcp    *tcp.Stack
+	udp    map[uint16]UDPHandler
+	frames *fabric.FramePool
 
 	// pendingARP holds frames awaiting resolution, per next hop.
-	pendingARP map[wire.IPv4][][]byte
+	pendingARP map[wire.IPv4][]*fabric.Frame
 
 	ipID uint16
 
@@ -111,7 +114,8 @@ func New(cfg Config) *Stack {
 	s := &Stack{
 		cfg:        cfg,
 		udp:        make(map[uint16]UDPHandler),
-		pendingARP: make(map[wire.IPv4][][]byte),
+		frames:     fabric.NewFramePool(),
+		pendingARP: make(map[wire.IPv4][]*fabric.Frame),
 	}
 	s.tcp = tcp.NewStack(tcp.Config{
 		LocalIP:    cfg.LocalIP,
@@ -273,10 +277,13 @@ func (s *Stack) outputTCP(c *tcp.Conn, hdr *wire.TCPHeader, payload [][]byte) {
 }
 
 // sendIPv4 builds the IP packet around fill (which writes the transport
-// body of bodyLen bytes) and transmits it, resolving ARP as needed.
+// body of bodyLen bytes) and transmits it, resolving ARP as needed. The
+// frame buffer comes from the stack's pool; fill must write every body
+// byte (pooled buffers are not zeroed).
 func (s *Stack) sendIPv4(dst wire.IPv4, proto uint8, bodyLen int, fill func([]byte)) {
 	total := wire.EthHdrLen + wire.IPv4HdrLen + bodyLen
-	frame := make([]byte, total)
+	f := s.frames.Get(total)
+	frame := f.Data
 	s.ipID++
 	iph := wire.IPv4Header{
 		TotalLen: uint16(wire.IPv4HdrLen + bodyLen),
@@ -290,11 +297,11 @@ func (s *Stack) sendIPv4(dst wire.IPv4, proto uint8, bodyLen int, fill func([]by
 	iph.Marshal(frame[wire.EthHdrLen:])
 	fill(frame[wire.EthHdrLen+wire.IPv4HdrLen:])
 	if mac, ok := s.cfg.ARP.Lookup(dst); ok {
-		s.finishEth(frame, mac)
+		s.finishEth(f, mac)
 		return
 	}
 	// Queue behind ARP resolution.
-	s.pendingARP[dst] = append(s.pendingARP[dst], frame)
+	s.pendingARP[dst] = append(s.pendingARP[dst], f)
 	if len(s.pendingARP[dst]) == 1 {
 		s.sendARPRequest(dst)
 	}
@@ -327,21 +334,21 @@ func (s *Stack) flushPending(ip wire.IPv4) {
 }
 
 // finishEth writes the Ethernet header into an assembled frame and sends.
-func (s *Stack) finishEth(frame []byte, dst wire.MAC) {
+func (s *Stack) finishEth(f *fabric.Frame, dst wire.MAC) {
 	eth := wire.EthHeader{Dst: dst, Src: s.cfg.LocalMAC, EtherType: wire.EtherTypeIPv4}
-	eth.Marshal(frame)
+	eth.Marshal(f.Data)
 	s.TxFrames++
-	s.cfg.SendFrame(frame)
+	s.cfg.SendFrame(f)
 }
 
 // sendEth builds and sends a non-IP frame (ARP).
 func (s *Stack) sendEth(dst wire.MAC, etherType uint16, fill func([]byte), bodyLen int) {
-	frame := make([]byte, wire.EthHdrLen+bodyLen)
+	f := s.frames.Get(wire.EthHdrLen + bodyLen)
 	eth := wire.EthHeader{Dst: dst, Src: s.cfg.LocalMAC, EtherType: etherType}
-	eth.Marshal(frame)
-	fill(frame[wire.EthHdrLen:])
+	eth.Marshal(f.Data)
+	fill(f.Data[wire.EthHdrLen:])
 	s.TxFrames++
-	s.cfg.SendFrame(frame)
+	s.cfg.SendFrame(f)
 }
 
 // Flush emits pending pure ACKs (see tcp.Stack.Flush).

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"ix/internal/fabric"
 	"ix/internal/mem"
 	"ix/internal/tcp"
 	"ix/internal/timerwheel"
@@ -36,8 +37,9 @@ func newHost(now *int64, ip wire.IPv4, mac wire.MAC, arp *ARPTable) *host {
 		LocalMAC: mac,
 		Now:      func() int64 { return *now },
 		Wheel:    timerwheel.New(timerwheel.DefaultTick, 0),
-		SendFrame: func(f []byte) {
-			h.out = append(h.out, f)
+		SendFrame: func(f *fabric.Frame) {
+			h.out = append(h.out, append([]byte(nil), f.Data...))
+			f.Release()
 		},
 		Events: h.events,
 		ARP:    arp,

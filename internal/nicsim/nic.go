@@ -51,7 +51,11 @@ type RxQueue struct {
 	nic *NIC
 	ID  int
 
+	// ring is a head-indexed deque: consumed frames advance head, arrivals
+	// append, and the backing array is reset (and reused) whenever the
+	// queue drains. Steady-state push/pop does not allocate.
 	ring     []*fabric.Frame
+	head     int
 	ringSize int
 	// descAvail is the number of posted (free) receive descriptors.
 	// When it reaches zero, arriving frames are dropped — exactly the
@@ -75,7 +79,7 @@ type RxQueue struct {
 }
 
 // Len returns the number of frames waiting in the ring.
-func (q *RxQueue) Len() int { return len(q.ring) }
+func (q *RxQueue) Len() int { return len(q.ring) - q.head }
 
 // DescAvail returns the number of posted free descriptors.
 func (q *RxQueue) DescAvail() int { return q.descAvail }
@@ -84,7 +88,7 @@ func (q *RxQueue) DescAvail() int { return q.descAvail }
 // size). Each call models one PCIe doorbell write; the caller charges its
 // cost. Returns the number actually posted.
 func (q *RxQueue) PostDescriptors(n int) int {
-	room := q.ringSize - q.descAvail - len(q.ring)
+	room := q.ringSize - q.descAvail - q.Len()
 	if n > room {
 		n = room
 	}
@@ -95,13 +99,20 @@ func (q *RxQueue) PostDescriptors(n int) int {
 }
 
 // Take removes up to n frames from the ring (the poll step (1) of the
-// run-to-completion cycle, or a NAPI budget-bounded poll).
+// run-to-completion cycle, or a NAPI budget-bounded poll). The returned
+// slice aliases the ring storage and is valid only until the next frame
+// arrival: consumers process (and Release) the batch synchronously within
+// the same simulation event.
 func (q *RxQueue) Take(n int) []*fabric.Frame {
-	if n > len(q.ring) {
-		n = len(q.ring)
+	if avail := q.Len(); n > avail {
+		n = avail
 	}
-	out := q.ring[:n:n]
-	q.ring = q.ring[n:]
+	out := q.ring[q.head : q.head+n : q.head+n]
+	q.head += n
+	if q.head == len(q.ring) {
+		q.ring = q.ring[:0]
+		q.head = 0
+	}
 	return out
 }
 
@@ -111,33 +122,40 @@ func (q *RxQueue) Take(n int) []*fabric.Frame {
 // frames out of the source ring before re-homing them.
 func (q *RxQueue) Extract(match func(*fabric.Frame) bool) []*fabric.Frame {
 	var out []*fabric.Frame
-	rest := q.ring[:0]
-	for _, f := range q.ring {
+	live := q.ring[q.head:]
+	rest := live[:0]
+	for _, f := range live {
 		if match(f) {
 			out = append(out, f)
 		} else {
 			rest = append(rest, f)
 		}
 	}
-	q.ring = rest
+	q.ring = q.ring[: q.head+len(rest) : cap(q.ring)]
 	q.descAvail += len(out)
 	return out
+}
+
+// push appends an arrived frame, reusing drained backing storage.
+func (q *RxQueue) push(f *fabric.Frame) {
+	q.ring = append(q.ring, f)
 }
 
 // Inject appends a migrated frame to the ring tail, consuming a
 // descriptor. Because the RETA entry is flipped before the source ring is
 // drained, the destination ring holds no frames of the migrating flow
 // group yet, so tail insertion preserves intra-flow order. Reports false
-// (frame dropped, counted) when no descriptor is free.
+// (frame dropped, released and counted) when no descriptor is free.
 func (q *RxQueue) Inject(f *fabric.Frame) bool {
-	if q.descAvail <= 0 || len(q.ring) >= q.ringSize {
+	if q.descAvail <= 0 || q.Len() >= q.ringSize {
 		q.RxDrops++
 		q.nic.RxDrops++
+		f.Release()
 		return false
 	}
 	q.descAvail--
-	q.ring = append(q.ring, f)
-	if q.Mode == ModePoll && len(q.ring) == 1 && q.OnFrame != nil {
+	q.push(f)
+	if q.Mode == ModePoll && q.Len() == 1 && q.OnFrame != nil {
 		q.OnFrame()
 	}
 	return true
@@ -155,18 +173,19 @@ func (q *RxQueue) EnableInterrupt() {
 func (q *RxQueue) DisableInterrupt() { q.intrArmed = false }
 
 func (q *RxQueue) deliver(f *fabric.Frame) {
-	if q.descAvail <= 0 || len(q.ring) >= q.ringSize {
+	if q.descAvail <= 0 || q.Len() >= q.ringSize {
 		q.RxDrops++
 		q.nic.RxDrops++
+		f.Release()
 		return
 	}
 	q.descAvail--
-	q.ring = append(q.ring, f)
+	q.push(f)
 	q.RxFrames++
 	q.nic.RxFrames++
 	switch q.Mode {
 	case ModePoll:
-		if len(q.ring) == 1 && q.OnFrame != nil {
+		if q.Len() == 1 && q.OnFrame != nil {
 			q.OnFrame()
 		}
 	case ModeInterrupt:
@@ -190,12 +209,16 @@ func (q *RxQueue) fireInterrupt() {
 			at = earliest
 		}
 	}
-	q.nic.eng.At(at, func() {
-		q.intrPending = false
-		q.lastIntr = q.nic.eng.Now()
-		q.nic.Interrupts++
-		q.OnInterrupt()
-	})
+	q.nic.eng.Call(at, runInterrupt, q)
+}
+
+// runInterrupt is the interrupt trampoline (pooled one-shot event).
+func runInterrupt(a any) {
+	q := a.(*RxQueue)
+	q.intrPending = false
+	q.lastIntr = q.nic.eng.Now()
+	q.nic.Interrupts++
+	q.OnInterrupt()
 }
 
 // TxQueue is one transmit descriptor ring. Frames posted here are DMA'd
@@ -207,40 +230,112 @@ type TxQueue struct {
 	inFlight int
 	ringSize int
 
+	// departs is a min-heap of in-flight descriptors' wire-departure
+	// times; completions are reclaimed lazily at the next Post/InFlight
+	// instead of costing one engine event per frame. A heap (not a FIFO)
+	// because a bonded NIC spreads one queue's frames across member
+	// ports with independent serialization clocks, so departure times
+	// are not monotone in post order.
+	departs []sim.Time
+
 	// OnComplete, if set, is called when a posted frame has left the
 	// wire (descriptor writeback); IX uses it to free mbufs in the
-	// separate completion pass of cycle step (6).
+	// separate completion pass of cycle step (6). Set it before the
+	// first Post: queues with a callback use eager completion events.
 	OnComplete func(n int)
 
 	TxFrames uint64
 	TxDrops  uint64
 }
 
-// Post places a frame on the TX ring. It reports false (dropping the
-// frame) if the ring is full — transmit queue starvation, which IX's
-// bounded batching is designed to avoid.
-func (t *TxQueue) Post(data []byte) bool {
+// pushDepart records an in-flight descriptor's departure time.
+func (t *TxQueue) pushDepart(at sim.Time) {
+	h := t.departs
+	i := len(h)
+	h = append(h, at)
+	for i > 0 {
+		parent := (i - 1) >> 1
+		if h[parent] <= at {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = at
+	t.departs = h
+}
+
+// reclaim returns descriptors whose frames have left the wire.
+func (t *TxQueue) reclaim() {
+	now := t.nic.eng.Now()
+	for len(t.departs) > 0 && t.departs[0] <= now {
+		h := t.departs
+		n := len(h) - 1
+		last := h[n]
+		h = h[:n]
+		if n > 0 {
+			i := 0
+			for {
+				c := i<<1 + 1
+				if c >= n {
+					break
+				}
+				if c+1 < n && h[c+1] < h[c] {
+					c++
+				}
+				if h[c] >= last {
+					break
+				}
+				h[i] = h[c]
+				i = c
+			}
+			h[i] = last
+		}
+		t.departs = h
+		t.inFlight--
+	}
+}
+
+// Post places a frame on the TX ring. It reports false (dropping and
+// releasing the frame) if the ring is full — transmit queue starvation,
+// which IX's bounded batching is designed to avoid.
+func (t *TxQueue) Post(f *fabric.Frame) bool {
+	t.reclaim()
 	if t.inFlight >= t.ringSize {
 		t.TxDrops++
+		f.Release()
 		return false
 	}
 	t.inFlight++
 	t.TxFrames++
 	n := t.nic
-	port := n.txPort(data)
-	port.Send(data)
-	// Completion when serialization finishes.
-	n.eng.At(port.Busy(), func() {
-		t.inFlight--
-		if t.OnComplete != nil {
-			t.OnComplete(1)
-		}
-	})
+	port := n.txPort(f.Data)
+	port.Send(f)
+	// Completion (descriptor writeback) when serialization finishes:
+	// an eager event only when someone listens, lazy reclaim otherwise.
+	if t.OnComplete != nil {
+		n.eng.Call(port.Busy(), txComplete, t)
+	} else {
+		t.pushDepart(port.Busy())
+	}
 	return true
 }
 
+// txComplete is the descriptor-writeback trampoline (pooled one-shot
+// event).
+func txComplete(a any) {
+	t := a.(*TxQueue)
+	t.inFlight--
+	if t.OnComplete != nil {
+		t.OnComplete(1)
+	}
+}
+
 // InFlight returns the number of un-completed descriptors.
-func (t *TxQueue) InFlight() int { return t.inFlight }
+func (t *TxQueue) InFlight() int {
+	t.reclaim()
+	return t.inFlight
+}
 
 // NIC is the device: queues, RSS state, and its physical ports.
 type NIC struct {
@@ -252,8 +347,9 @@ type NIC struct {
 	rx    []*RxQueue
 	tx    []*TxQueue
 
-	rssKey [40]byte
-	reta   [RetaSize]uint8
+	rssKey   [40]byte
+	rssTable *rssTable
+	reta     [RetaSize]uint8
 
 	// Stats.
 	RxFrames   uint64
@@ -270,6 +366,7 @@ func New(eng *sim.Engine, mac wire.MAC, cfg Config) *NIC {
 		cfg.RingSize = DefaultRingSize
 	}
 	n := &NIC{eng: eng, MAC: mac, cfg: cfg, rssKey: DefaultRSSKey}
+	n.rssTable = buildRSSTable(n.rssKey[:])
 	for i := 0; i < cfg.Queues; i++ {
 		rq := &RxQueue{nic: n, ID: i, ringSize: cfg.RingSize}
 		rq.descAvail = cfg.RingSize
@@ -432,8 +529,7 @@ func (n *NIC) RSSQueue(k wire.FlowKey) int {
 // RSSBucket returns the redirection-table bucket (flow group, §4.4) a
 // flow hashes to — the unit of control-plane flow migration.
 func (n *NIC) RSSBucket(k wire.FlowKey) int {
-	h := RSSHash(n.rssKey[:], k)
-	return int(h & (RetaSize - 1))
+	return int(n.rssTable.hash(k) & (RetaSize - 1))
 }
 
 // FrameBucket returns the RSS bucket of a raw frame, or ok=false for
@@ -463,30 +559,31 @@ func (n *NIC) classify(data []byte) int {
 }
 
 // frameKey extracts the RSS flow key of a frame; ok=false for frames the
-// hardware would not hash (non-IPv4, non-TCP/UDP).
+// hardware would not hash (non-IPv4, non-TCP/UDP). The parse reads the
+// fixed header fields directly — RSS hardware does not validate IP
+// checksums; the receiving stack still does.
 func (n *NIC) frameKey(data []byte) (wire.FlowKey, bool) {
-	var eth wire.EthHeader
-	if eth.Unmarshal(data) != nil || eth.EtherType != wire.EtherTypeIPv4 {
+	if len(data) < wire.EthHdrLen+wire.IPv4HdrLen+4 {
+		return wire.FlowKey{}, false
+	}
+	if uint16(data[12])<<8|uint16(data[13]) != wire.EtherTypeIPv4 {
 		return wire.FlowKey{}, false
 	}
 	ip := data[wire.EthHdrLen:]
-	var iph wire.IPv4Header
-	if iph.Unmarshal(ip) != nil {
+	if ip[0] != 0x45 { // version 4, IHL 5 (no options anywhere in the testbed)
 		return wire.FlowKey{}, false
 	}
-	if iph.Proto != wire.ProtoTCP && iph.Proto != wire.ProtoUDP {
+	proto := ip[9]
+	if proto != wire.ProtoTCP && proto != wire.ProtoUDP {
 		return wire.FlowKey{}, false
 	}
 	tr := ip[wire.IPv4HdrLen:]
-	if len(tr) < 4 {
-		return wire.FlowKey{}, false
-	}
 	return wire.FlowKey{
-		SrcIP:   iph.Src,
-		DstIP:   iph.Dst,
+		SrcIP:   wire.IPv4(uint32(ip[12])<<24 | uint32(ip[13])<<16 | uint32(ip[14])<<8 | uint32(ip[15])),
+		DstIP:   wire.IPv4(uint32(ip[16])<<24 | uint32(ip[17])<<16 | uint32(ip[18])<<8 | uint32(ip[19])),
 		SrcPort: uint16(tr[0])<<8 | uint16(tr[1]),
 		DstPort: uint16(tr[2])<<8 | uint16(tr[3]),
-		Proto:   iph.Proto,
+		Proto:   proto,
 	}, true
 }
 

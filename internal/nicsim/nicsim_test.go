@@ -79,7 +79,7 @@ func TestNICClassifiesByRSS(t *testing.T) {
 		key := wire.FlowKey{SrcIP: wire.Addr4(10, 0, 0, 3), DstIP: wire.Addr4(10, 0, 0, 1),
 			SrcPort: uint16(40000 + p), DstPort: 80, Proto: wire.ProtoTCP}
 		want := n.RSSQueue(key)
-		l.Port(1).Send(buildTCPFrame(n.MAC, key))
+		l.Port(1).Send(fabric.NewFrame(buildTCPFrame(n.MAC, key)))
 		eng.Run()
 		// The frame must be in the queue RSS selected.
 		got := -1
@@ -101,7 +101,7 @@ func TestRingOverflowDrops(t *testing.T) {
 	key := wire.FlowKey{SrcIP: wire.Addr4(10, 0, 0, 3), DstIP: wire.Addr4(10, 0, 0, 1),
 		SrcPort: 4000, DstPort: 80, Proto: wire.ProtoTCP}
 	for i := 0; i < 12; i++ { // ring size 8
-		l.Port(1).Send(buildTCPFrame(n.MAC, key))
+		l.Port(1).Send(fabric.NewFrame(buildTCPFrame(n.MAC, key)))
 	}
 	eng.Run()
 	if n.RxQueue(0).Len() != 8 {
@@ -113,7 +113,7 @@ func TestRingOverflowDrops(t *testing.T) {
 	// Consuming and reposting descriptors restores delivery.
 	n.RxQueue(0).Take(8)
 	n.RxQueue(0).PostDescriptors(8)
-	l.Port(1).Send(buildTCPFrame(n.MAC, key))
+	l.Port(1).Send(fabric.NewFrame(buildTCPFrame(n.MAC, key)))
 	eng.Run()
 	if n.RxQueue(0).Len() != 1 {
 		t.Fatal("delivery did not resume")
@@ -141,7 +141,7 @@ func TestInterruptModeration(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		at := eng.Now().Add(time.Duration(i) * time.Microsecond)
 		f := buildTCPFrame(n.MAC, key)
-		eng.At(at, func() { l.Port(1).Send(f) })
+		eng.At(at, func() { l.Port(1).Send(fabric.NewFrame(f)) })
 	}
 	eng.Run()
 	if intrs == 0 || intrs > 5 {
@@ -178,7 +178,7 @@ func TestTxCompletion(t *testing.T) {
 	eng, n, _ := newTestNIC(t, 1)
 	completed := 0
 	n.TxQueue(0).OnComplete = func(c int) { completed += c }
-	if !n.TxQueue(0).Post(make([]byte, 100)) {
+	if !n.TxQueue(0).Post(fabric.NewFrame(make([]byte, 100))) {
 		t.Fatal("post failed")
 	}
 	eng.Run()

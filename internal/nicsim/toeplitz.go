@@ -46,6 +46,61 @@ func Toeplitz(key []byte, input []byte) uint32 {
 	return result
 }
 
+// rssTable is the byte-indexed Toeplitz lookup table for the 12-byte
+// TCP/UDP IPv4 tuple. The Toeplitz hash is linear over input bits, so the
+// hash is the XOR of one per-position table entry per input byte — this is
+// how software RSS implementations (e.g. DPDK) avoid the bit-serial loop
+// on the classification hot path.
+type rssTable [12][256]uint32
+
+// keyWindow returns the 32-bit window of key starting at bit offset off
+// (zero-padded beyond the key), exactly as the bit-serial hash shifts it.
+func keyWindow(key []byte, off int) uint32 {
+	bo, r := off/8, uint(off%8)
+	var v uint64
+	for i := 0; i < 5; i++ {
+		v <<= 8
+		if bo+i < len(key) {
+			v |= uint64(key[bo+i])
+		}
+	}
+	return uint32(v >> (8 - r))
+}
+
+// buildRSSTable precomputes the per-byte contribution table for key.
+func buildRSSTable(key []byte) *rssTable {
+	var t rssTable
+	for pos := 0; pos < 12; pos++ {
+		for bit := 0; bit < 8; bit++ {
+			w := keyWindow(key, pos*8+bit)
+			mask := 0x80 >> uint(bit)
+			for v := 0; v < 256; v++ {
+				if v&mask != 0 {
+					t[pos][v] ^= w
+				}
+			}
+		}
+	}
+	return &t
+}
+
+// hash computes the Toeplitz hash of the flow tuple via table lookups;
+// identical to RSSHash(key, k) for the table's key.
+func (t *rssTable) hash(k wire.FlowKey) uint32 {
+	return t[0][byte(k.SrcIP>>24)] ^
+		t[1][byte(k.SrcIP>>16)] ^
+		t[2][byte(k.SrcIP>>8)] ^
+		t[3][byte(k.SrcIP)] ^
+		t[4][byte(k.DstIP>>24)] ^
+		t[5][byte(k.DstIP>>16)] ^
+		t[6][byte(k.DstIP>>8)] ^
+		t[7][byte(k.DstIP)] ^
+		t[8][byte(k.SrcPort>>8)] ^
+		t[9][byte(k.SrcPort)] ^
+		t[10][byte(k.DstPort>>8)] ^
+		t[11][byte(k.DstPort)]
+}
+
 // RSSHash computes the Toeplitz hash of a TCP/UDP IPv4 flow the way the
 // 82599 concatenates the tuple: srcIP, dstIP, srcPort, dstPort, all in
 // network byte order.

@@ -4,6 +4,14 @@ import (
 	"time"
 )
 
+// endAction is one deferred end-of-task callback. The two-form layout
+// mirrors Event: fnArg+arg avoids a closure allocation on hot paths.
+type endAction struct {
+	fn    func()
+	fnArg func(any)
+	arg   any
+}
+
 // A Meter accumulates the virtual CPU cost of a task as it executes, and
 // collects actions to release when the task's virtual time window ends
 // (e.g. frames to place on a NIC ring at the end of a run-to-completion
@@ -12,7 +20,7 @@ import (
 // the task's externally visible outputs appear.
 type Meter struct {
 	total time.Duration
-	atEnd []func()
+	atEnd []endAction
 	start Time
 }
 
@@ -38,7 +46,28 @@ func (m *Meter) Start() Time { return m.start }
 
 // AtEnd registers fn to run at the task's virtual end time, after all cost
 // has been charged. Registered functions run in order.
-func (m *Meter) AtEnd(fn func()) { m.atEnd = append(m.atEnd, fn) }
+func (m *Meter) AtEnd(fn func()) { m.atEnd = append(m.atEnd, endAction{fn: fn}) }
+
+// AtEndCall registers the one-shot fn(arg) to run at the task's virtual
+// end time — the allocation-free AtEnd for per-cycle hot paths.
+func (m *Meter) AtEndCall(fn func(any), arg any) {
+	m.atEnd = append(m.atEnd, endAction{fnArg: fn, arg: arg})
+}
+
+// runEnd fires the registered end actions in order and clears them.
+// Actions registered by a running end action (re-entrant AtEnd) are
+// picked up by re-reading the live slice each iteration.
+func (m *Meter) runEnd() {
+	for i := 0; i < len(m.atEnd); i++ {
+		a := m.atEnd[i]
+		m.atEnd[i] = endAction{}
+		if a.fnArg != nil {
+			a.fnArg(a.arg)
+		} else if a.fn != nil {
+			a.fn()
+		}
+	}
+}
 
 // TaskClass labels work so cores can charge a context-switch penalty when
 // switching between classes (e.g. Linux softirq vs. application thread).
@@ -51,6 +80,9 @@ const (
 	ClassUser                       // application thread work
 	ClassTCPThread                  // mTCP per-core TCP thread
 )
+
+// numClasses sizes the per-class accounting array.
+const numClasses = 4
 
 type coreTask struct {
 	class TaskClass
@@ -74,15 +106,21 @@ type Core struct {
 	freeAt    Time
 	lastClass TaskClass
 	queue     []coreTask
+	qHead     int
+
+	// pending is the task handed to the dispatch event; meter is reused
+	// across tasks (the core runs one task at a time).
+	pending coreTask
+	meter   Meter
 
 	// Utilization accounting, by class.
-	BusyTime  map[TaskClass]time.Duration
+	busyTime  [numClasses]time.Duration
 	statStart Time
 }
 
 // NewCore returns an idle core attached to eng.
 func NewCore(eng *Engine, id int) *Core {
-	return &Core{Eng: eng, ID: id, lastClass: -1, BusyTime: make(map[TaskClass]time.Duration)}
+	return &Core{Eng: eng, ID: id, lastClass: -1}
 }
 
 // Submit enqueues fn on the core with the given class. The task starts as
@@ -101,23 +139,50 @@ func (c *Core) SubmitAfter(delay time.Duration, class TaskClass, fn func(*Meter)
 	}
 }
 
+// popTask removes the head of the queue, reusing the backing array once
+// drained so steady-state submission does not allocate.
+func (c *Core) popTask() (coreTask, bool) {
+	if c.qHead >= len(c.queue) {
+		return coreTask{}, false
+	}
+	t := c.queue[c.qHead]
+	c.queue[c.qHead] = coreTask{}
+	c.qHead++
+	if c.qHead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qHead = 0
+	}
+	return t, true
+}
+
+// coreStart / coreFinish are the static dispatch trampolines; using
+// Engine.Call with the core as argument keeps per-task scheduling
+// allocation-free.
+func coreStart(a any)  { a.(*Core).runTask() }
+func coreFinish(a any) { a.(*Core).finishTask() }
+
 // dispatch starts the next runnable task. Called when the core is idle.
 func (c *Core) dispatch() {
-	if len(c.queue) == 0 {
+	t, ok := c.popTask()
+	if !ok {
 		return
 	}
-	t := c.queue[0]
-	c.queue = c.queue[1:]
 	start := c.Eng.Now()
 	if t.ready > start {
 		start = t.ready
 	}
 	c.busy = true
-	c.Eng.At(start, func() { c.runTask(t) })
+	c.pending = t
+	c.Eng.Call(start, coreStart, c)
 }
 
-func (c *Core) runTask(t coreTask) {
-	m := &Meter{start: c.Eng.Now()}
+func (c *Core) runTask() {
+	t := c.pending
+	c.pending = coreTask{}
+	m := &c.meter
+	m.total = 0
+	m.start = c.Eng.Now()
+	m.atEnd = m.atEnd[:0]
 	if c.lastClass >= 0 && c.lastClass != t.class && c.CtxSwitch > 0 {
 		m.Charge(c.CtxSwitch)
 	}
@@ -125,26 +190,26 @@ func (c *Core) runTask(t coreTask) {
 	t.fn(m)
 	end := c.Eng.Now().Add(m.total)
 	c.freeAt = end
-	c.BusyTime[t.class] += m.total
-	c.Eng.At(end, func() {
-		for _, fn := range m.atEnd {
-			fn()
-		}
-		c.busy = false
-		c.dispatch()
-	})
+	c.busyTime[t.class] += m.total
+	c.Eng.Call(end, coreFinish, c)
+}
+
+func (c *Core) finishTask() {
+	c.meter.runEnd()
+	c.busy = false
+	c.dispatch()
 }
 
 // Busy reports whether the core is currently executing or has queued work.
-func (c *Core) Busy() bool { return c.busy || len(c.queue) > 0 }
+func (c *Core) Busy() bool { return c.busy || c.qHead < len(c.queue) }
 
 // QueueLen reports the number of tasks waiting (not including the running
 // one).
-func (c *Core) QueueLen() int { return len(c.queue) }
+func (c *Core) QueueLen() int { return len(c.queue) - c.qHead }
 
 // ResetStats zeroes utilization counters and marks the measurement epoch.
 func (c *Core) ResetStats() {
-	c.BusyTime = make(map[TaskClass]time.Duration)
+	c.busyTime = [numClasses]time.Duration{}
 	c.statStart = c.Eng.Now()
 }
 
@@ -158,8 +223,10 @@ func (c *Core) Utilization() (byClass map[TaskClass]float64, total float64) {
 		return byClass, 0
 	}
 	var busy time.Duration
-	for cl, d := range c.BusyTime {
-		byClass[cl] = float64(d) / float64(elapsed)
+	for cl, d := range c.busyTime {
+		if d > 0 {
+			byClass[TaskClass(cl)] = float64(d) / float64(elapsed)
+		}
 		busy += d
 	}
 	return byClass, float64(busy) / float64(elapsed)

@@ -6,10 +6,16 @@
 // Everything in the repository executes on a single goroutine driven by
 // Engine.Run; determinism is guaranteed by the stable (time, sequence)
 // ordering of events and by using only the engine's seeded RNG.
+//
+// The event queue is built for the per-packet simulation hot path: events
+// scheduled at the current instant go to a FIFO ring instead of the heap
+// (most dispatches are "run this now"), one-shot fire-and-forget events
+// created with Call/CallAfter are pooled and recycled without garbage, and
+// cancellation is lazy (cancelled events are skipped when popped rather
+// than removed from the middle of the heap).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -29,55 +35,144 @@ func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // An Event is a scheduled callback. Events are created with Engine.At or
-// Engine.After and may be cancelled before they fire.
+// Engine.After and may be cancelled before they fire. One-shot events
+// created with Call/CallAfter are pooled internally and never returned.
 type Event struct {
-	at       Time
-	seq      uint64
+	at  Time
+	seq uint64
+	// Exactly one of fn / fnArg is set; fnArg avoids a closure allocation
+	// for hot-path callbacks that need a single argument.
 	fn       func()
-	index    int // heap index, -1 if not queued
+	fnArg    func(any)
+	arg      any
+	index    int // heap index, -1 if not queued in the heap
 	canceled bool
+	pooled   bool // recycled into the engine free list after firing
 }
 
 // At returns the virtual time the event is scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
-type eventHeap []*Event
+// heapEntry carries the ordering key by value so sift comparisons touch
+// only the heap array — no pointer chasing on the hottest loop in the
+// simulator.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (at, seq). The
+// wider fan-out halves tree depth versus a binary heap and the inlined
+// comparisons avoid container/heap's interface dispatch.
+type eventHeap []heapEntry
+
+func entLess(a, b *heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (h *eventHeap) push(e *Event) {
+	*h = append(*h, heapEntry{})
+	h.siftUp(len(*h)-1, heapEntry{at: e.at, seq: e.seq, ev: e})
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+func (h eventHeap) siftUp(i int, e heapEntry) {
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !entLess(&e, &p) {
+			break
+		}
+		h[i] = p
+		p.ev.index = i
+		i = parent
+	}
+	h[i] = e
+	e.ev.index = i
 }
-func (h *eventHeap) Pop() any {
+
+func (h eventHeap) siftDown(i int, e heapEntry) {
+	n := len(h)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		// Smallest of up to four children.
+		best := first
+		bc := h[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if entLess(&h[c], &bc) {
+				best = c
+				bc = h[c]
+			}
+		}
+		if !entLess(&bc, &e) {
+			break
+		}
+		h[i] = bc
+		bc.ev.index = i
+		i = best
+	}
+	h[i] = e
+	e.ev.index = i
+}
+
+// popMin removes and returns the minimum event.
+func (h *eventHeap) popMin() *Event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	top := old[0].ev
+	n := len(old) - 1
+	last := old[n]
+	old[n] = heapEntry{}
+	*h = old[:n]
+	if n > 0 {
+		(*h).siftDown(0, last)
+	}
+	top.index = -1
+	return top
+}
+
+// remove deletes the event at index i.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	ev := old[i].ev
+	last := old[n]
+	old[n] = heapEntry{}
+	*h = old[:n]
+	if i < n {
+		// Re-place the substituted element in either direction.
+		(*h).siftDown(i, last)
+		if last.ev.index == i {
+			(*h).siftUp(i, last)
+		}
+	}
+	ev.index = -1
 }
 
 // Engine is the discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	rng     *rand.Rand
-	stopped bool
+	now    Time
+	seq    uint64
+	events eventHeap
+	// ring holds events scheduled at the current instant, in FIFO (= seq)
+	// order. The engine's clock never advances while the ring is
+	// non-empty, so ring events are always due. Heap events at the same
+	// instant were necessarily scheduled earlier (smaller seq) and fire
+	// first.
+	ring     []*Event
+	ringHead int
+	free     []*Event // recycled pooled events
+	rng      *rand.Rand
 
 	// Processed counts events executed, for diagnostics.
 	Processed uint64
@@ -95,15 +190,60 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at virtual time t. Scheduling in the past panics:
-// it always indicates a modelling bug.
-func (e *Engine) At(t Time, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+// alloc returns an event ready to schedule. Pooled events are recycled
+// after they fire; non-pooled events are fresh allocations because the
+// caller holds the pointer (for Cancel) indefinitely.
+func (e *Engine) alloc(pooled bool) *Event {
+	if pooled {
+		if n := len(e.free); n > 0 {
+			ev := e.free[n-1]
+			e.free[n-1] = nil
+			e.free = e.free[:n-1]
+			return ev
+		}
+		return &Event{pooled: true}
+	}
+	return &Event{}
+}
+
+// recycle clears a popped event and returns pooled ones to the free list.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.fnArg = nil
+	ev.arg = nil
+	if ev.pooled {
+		ev.canceled = false
+		e.free = append(e.free, ev)
+	}
+}
+
+// schedule assigns the sequence number and queues ev: the same-instant
+// ring when ev.at equals the current time, the heap otherwise.
+func (e *Engine) schedule(ev *Event) {
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", ev.at, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.events, ev)
+	ev.seq = e.seq
+	ev.canceled = false
+	if ev.at == e.now {
+		ev.index = -1
+		e.ring = append(e.ring, ev)
+		return
+	}
+	e.events.push(ev)
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it always indicates a modelling bug.
+//
+// The returned event may be cancelled until it fires. Once it has fired,
+// the pointer must not be handed back to Cancel from a stale reference.
+func (e *Engine) At(t Time, fn func()) *Event {
+	ev := e.alloc(false)
+	ev.at = t
+	ev.fn = fn
+	e.schedule(ev)
 	return ev
 }
 
@@ -115,33 +255,92 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.At(e.now.Add(d), fn)
 }
 
+// Call schedules the one-shot fn(arg) at virtual time t. The event is
+// pooled and recycled after it fires: it cannot be cancelled and no
+// reference escapes. This is the allocation-free path for fire-and-forget
+// hot-path work (frame arrivals, task dispatch, TX completions).
+func (e *Engine) Call(t Time, fn func(any), arg any) {
+	ev := e.alloc(true)
+	ev.at = t
+	ev.fnArg = fn
+	ev.arg = arg
+	e.schedule(ev)
+}
+
+// CallAfter schedules the one-shot fn(arg) d from now (clamped at zero),
+// with the same pooled, non-cancellable semantics as Call.
+func (e *Engine) CallAfter(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.Call(e.now.Add(d), fn, arg)
+}
+
 // Cancel prevents ev from firing. Cancelling a nil, already-fired, or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. Heap events are removed eagerly
+// (they may be far in the future); same-instant ring events are marked
+// and skipped when reached.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.canceled {
 		return
 	}
 	ev.canceled = true
 	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
-		ev.index = -1
+		e.events.remove(ev.index)
+	}
+}
+
+// next pops the next due event, or nil when the engine is drained.
+// Cancelled ring events are discarded here.
+func (e *Engine) next() *Event {
+	for {
+		var ev *Event
+		if e.ringHead < len(e.ring) {
+			// Ring events are due at the current instant; heap events at
+			// the same instant carry smaller sequence numbers (they were
+			// scheduled before the clock reached this instant) and fire
+			// first.
+			if len(e.events) > 0 && e.events[0].at <= e.now {
+				ev = e.events.popMin()
+			} else {
+				ev = e.ring[e.ringHead]
+				e.ring[e.ringHead] = nil
+				e.ringHead++
+				if e.ringHead == len(e.ring) {
+					e.ring = e.ring[:0]
+					e.ringHead = 0
+				}
+			}
+		} else if len(e.events) > 0 {
+			ev = e.events.popMin()
+		} else {
+			return nil
+		}
+		if ev.canceled {
+			e.recycle(ev)
+			continue
+		}
+		return ev
 	}
 }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
-		return true
+	ev := e.next()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.now = ev.at
+	e.Processed++
+	fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+	e.recycle(ev)
+	if fnArg != nil {
+		fnArg(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -153,14 +352,13 @@ func (e *Engine) Run() {
 // RunUntil executes events with time ≤ t, then sets the clock to t.
 // Events scheduled at exactly t are executed.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 {
-		// Peek.
-		next := e.events[0]
-		if next.canceled {
-			heap.Pop(&e.events)
+	for {
+		if e.ringHead < len(e.ring) {
+			// Same-instant events are due now (now ≤ t).
+			e.Step()
 			continue
 		}
-		if next.at > t {
+		if len(e.events) == 0 || e.events[0].at > t {
 			break
 		}
 		e.Step()
@@ -176,7 +374,12 @@ func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
 // Pending reports the number of queued (non-cancelled) events.
 func (e *Engine) Pending() int {
 	n := 0
-	for _, ev := range e.events {
+	for _, ent := range e.events {
+		if !ent.ev.canceled {
+			n++
+		}
+	}
+	for _, ev := range e.ring[e.ringHead:] {
 		if !ev.canceled {
 			n++
 		}

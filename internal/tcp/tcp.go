@@ -554,6 +554,16 @@ func (c *Conn) input(hdr *wire.TCPHeader, payload []byte, buf *mem.Mbuf) {
 		}
 	}
 
+	// A retransmitted SYN or SYN-ACK arriving on a synchronized
+	// connection means the peer missed our handshake ACK: answer with an
+	// immediate ACK (RFC 793 §3.9) so its handshake can complete. Without
+	// this the peer re-sends SYN-ACKs into silence until its
+	// retransmission limit kills the embryonic connection.
+	if hdr.Flags&wire.TCPSyn != 0 {
+		c.sendAckNow()
+		return
+	}
+
 	// ACK processing for synchronized states.
 	if hdr.Flags&wire.TCPAck != 0 {
 		c.processAck(hdr)

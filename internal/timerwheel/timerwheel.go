@@ -6,6 +6,12 @@
 // timers are cancelled before they expire (cancel is O(1) list unlink) and
 // supports very high resolution timeouts — the default tick is 16 µs,
 // which the paper notes matters for TCP incast recovery.
+//
+// NextDeadline — which the dataplane calls at every run-to-completion
+// quiescence point — is served by a lazy-deletion min-heap of deadlines
+// maintained at Add/Transfer time: cancelled and fired timers are skimmed
+// off the heap top when encountered, so the query is O(1) amortized even
+// when thousands of timers share one wheel slot.
 package timerwheel
 
 import "time"
@@ -28,6 +34,9 @@ type Timer struct {
 	fn         func()
 	next, prev *Timer
 	slot       *slotList
+	// wheel identifies the owning wheel while pending, so stale min-heap
+	// entries from a Transfer are recognized as dead.
+	wheel *Wheel
 }
 
 // Deadline returns the absolute deadline in nanoseconds.
@@ -62,6 +71,13 @@ func unlink(t *Timer) {
 	t.next, t.prev, t.slot = nil, nil, nil
 }
 
+// minEntry is one lazy min-heap record: the deadline by value (so heap
+// sifts never chase the timer pointer) plus the timer it belonged to.
+type minEntry struct {
+	deadline int64
+	t        *Timer
+}
+
 // A Wheel is a hierarchical timing wheel. It is single-owner (one per
 // elastic thread) and not safe for concurrent use, by design.
 type Wheel struct {
@@ -69,6 +85,11 @@ type Wheel struct {
 	curTick int64 // ticks elapsed
 	levels  [Levels][Slots]slotList
 	count   int
+
+	// minHeap tracks pending deadlines with lazy deletion: every Add or
+	// Transfer-in pushes an entry; entries whose timer has fired, been
+	// cancelled, or moved wheels are dropped when they surface at the top.
+	minHeap []minEntry
 
 	// Stats for the cancel-dominated workload claim.
 	Added     uint64
@@ -98,9 +119,59 @@ func New(tick time.Duration, now int64) *Wheel {
 // Len returns the number of pending timers.
 func (w *Wheel) Len() int { return w.count }
 
+// NextTickTime returns the virtual time of the next tick boundary — the
+// earliest instant at which a deadline inside the current tick can fire
+// (place never puts a timer in the current tick's slot).
+func (w *Wheel) NextTickTime() int64 { return (w.curTick + 1) * w.tick }
+
 // Now returns the wheel's current time in nanoseconds (quantized to the
 // tick).
 func (w *Wheel) Now() int64 { return w.curTick * w.tick }
+
+// heapPush records a pending deadline.
+func (w *Wheel) heapPush(t *Timer) {
+	h := w.minHeap
+	i := len(h)
+	h = append(h, minEntry{deadline: t.deadline, t: t})
+	for i > 0 {
+		parent := (i - 1) >> 1
+		if h[parent].deadline <= t.deadline {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = minEntry{deadline: t.deadline, t: t}
+	w.minHeap = h
+}
+
+// heapPop removes the top entry.
+func (w *Wheel) heapPop() {
+	h := w.minHeap
+	n := len(h) - 1
+	last := h[n]
+	h[n] = minEntry{}
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<1 + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && h[c+1].deadline < h[c].deadline {
+				c++
+			}
+			if h[c].deadline >= last.deadline {
+				break
+			}
+			h[i] = h[c]
+			i = c
+		}
+		h[i] = last
+	}
+	w.minHeap = h
+}
 
 // Add schedules fn to fire at absolute deadline ns. Deadlines at or before
 // the current tick fire on the next Advance. The returned timer may be
@@ -108,6 +179,7 @@ func (w *Wheel) Now() int64 { return w.curTick * w.tick }
 func (w *Wheel) Add(deadline int64, fn func()) *Timer {
 	t := &Timer{deadline: deadline, fn: fn}
 	w.place(t)
+	w.heapPush(t)
 	w.count++
 	w.Added++
 	return t
@@ -115,6 +187,7 @@ func (w *Wheel) Add(deadline int64, fn func()) *Timer {
 
 // place inserts t into the correct level/slot for its deadline.
 func (w *Wheel) place(t *Timer) {
+	t.wheel = w
 	dt := t.deadline/w.tick - w.curTick
 	if dt < 1 {
 		dt = 1
@@ -123,7 +196,7 @@ func (w *Wheel) place(t *Timer) {
 	for l := 0; l < Levels; l++ {
 		span := int64(1) << (8 * uint(l+1)) // ticks covered by levels 0..l
 		if dt < span || l == Levels-1 {
-			slot := (tickAt >> (8 * uint(l))) & (Slots - 1)
+			slot := int((tickAt >> (8 * uint(l))) & (Slots - 1))
 			w.levels[l][slot].push(t)
 			return
 		}
@@ -131,7 +204,8 @@ func (w *Wheel) place(t *Timer) {
 }
 
 // Cancel removes t from the wheel; it reports whether the timer was still
-// pending. Cancelling nil or an expired timer is a no-op.
+// pending. Cancelling nil or an expired timer is a no-op. The min-heap
+// entry is left behind and skimmed lazily.
 func (w *Wheel) Cancel(t *Timer) bool {
 	if t == nil || t.slot == nil {
 		return false
@@ -157,6 +231,7 @@ func (w *Wheel) Transfer(t *Timer, dst *Wheel) bool {
 	unlink(t)
 	w.count--
 	dst.place(t)
+	dst.heapPush(t)
 	dst.count++
 	w.TransferredOut++
 	dst.TransferredIn++
@@ -208,33 +283,20 @@ func (w *Wheel) fireSlot(s *slotList) {
 }
 
 // NextDeadline returns the earliest pending deadline in nanoseconds and
-// true, or zero and false if no timers are pending. It scans at most
-// Levels×Slots slots; the dataplane calls it only when about to idle.
+// true, or zero and false if no timers are pending. Dead heap entries
+// (fired, cancelled, or transferred timers) surfacing at the top are
+// discarded; each Add pays for at most one such discard, so the query is
+// O(1) amortized.
 func (w *Wheel) NextDeadline() (int64, bool) {
 	if w.count == 0 {
 		return 0, false
 	}
-	best := int64(0)
-	found := false
-	for l := 0; l < Levels; l++ {
-		for s := 0; s < Slots; s++ {
-			sl := &w.levels[l][s]
-			for t := sl.head.next; t != &sl.head; t = t.next {
-				if !found || t.deadline < best {
-					best = t.deadline
-					found = true
-				}
-			}
+	for len(w.minHeap) > 0 {
+		top := w.minHeap[0]
+		if top.t.slot != nil && top.t.wheel == w {
+			return top.deadline, true
 		}
-		if found {
-			// A lower level always holds earlier deadlines than the
-			// levels above it can cascade sooner than; stop at the first
-			// level with entries.
-			break
-		}
+		w.heapPop()
 	}
-	if !found {
-		return 0, false
-	}
-	return best, true
+	return 0, false
 }

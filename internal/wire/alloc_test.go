@@ -1,0 +1,52 @@
+package wire
+
+import "testing"
+
+// Encoding a TCP segment into a caller-supplied buffer — header marshal
+// plus checksum — is per-packet work and must not allocate.
+
+func TestZeroAllocTCPEncode(t *testing.T) {
+	buf := make([]byte, EthHdrLen+IPv4HdrLen+TCPHdrLen+64)
+	hdr := TCPHeader{
+		SrcPort: 1234, DstPort: 80,
+		Seq: 7, Ack: 9, Flags: TCPAck | TCPPsh, Window: 4096, WScale: -1,
+	}
+	iph := IPv4Header{
+		TotalLen: uint16(len(buf) - EthHdrLen),
+		TTL:      64, Proto: ProtoTCP,
+		Src: Addr4(10, 0, 0, 1), Dst: Addr4(10, 0, 0, 2),
+	}
+	seg := buf[EthHdrLen+IPv4HdrLen:]
+	allocs := testing.AllocsPerRun(1000, func() {
+		iph.Marshal(buf[EthHdrLen:])
+		hdr.Marshal(seg)
+		SetTCPChecksum(iph.Src, iph.Dst, seg)
+	})
+	if allocs != 0 {
+		t.Fatalf("TCP encode+checksum allocates %.1f per op, want 0", allocs)
+	}
+	if !VerifyTCPChecksum(iph.Src, iph.Dst, seg) {
+		t.Fatal("checksum round trip failed")
+	}
+}
+
+func BenchmarkTCPChecksum(b *testing.B) {
+	seg := make([]byte, TCPHdrLen+1448)
+	src, dst := Addr4(10, 0, 0, 1), Addr4(10, 0, 0, 2)
+	b.SetBytes(int64(len(seg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SetTCPChecksum(src, dst, seg)
+	}
+}
+
+func BenchmarkTCPEncode64(b *testing.B) {
+	buf := make([]byte, TCPHdrLen+64)
+	hdr := TCPHeader{SrcPort: 1, DstPort: 2, Flags: TCPAck, WScale: -1}
+	src, dst := Addr4(10, 0, 0, 1), Addr4(10, 0, 0, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hdr.Marshal(buf)
+		SetTCPChecksum(src, dst, buf)
+	}
+}
