@@ -3,14 +3,21 @@
 // wall-clock and the reported peak metrics per figure benchmark, so the
 // performance trajectory of the reproduction is tracked across PRs.
 //
+// With -compare it also diffs the new record against a previous PR's
+// file and fails (exit 1) when a gated benchmark's wall-clock regressed
+// beyond -maxregress — the CI guard that keeps the figure benchmarks
+// from quietly slowing down.
+//
 // Usage:
 //
-//	go test -run=NONE -bench='BenchmarkFig|BenchmarkTable2' -benchtime=1x . | benchjson > BENCH_PR2.json
+//	go test -run=NONE -bench='BenchmarkFig|BenchmarkTable2' -benchtime=1x . | benchjson > BENCH_PR3.json
+//	... | benchjson -compare BENCH_PR2.json -gate Fig3aCoreScaling,Fig3bMsgsPerConn -maxregress 0.10 > BENCH_PR3.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -38,6 +45,13 @@ type Record struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "previous BENCH_PR<n>.json to diff wall-clock against")
+	gate := flag.String("gate", "Fig3aCoreScaling,Fig3bMsgsPerConn",
+		"comma-separated benchmark names (sans Benchmark prefix) gated by -maxregress")
+	maxRegress := flag.Float64("maxregress", 0.10,
+		"fail when a gated benchmark's wall-clock grows by more than this fraction")
+	flag.Parse()
+
 	var rec Record
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -54,7 +68,20 @@ func main() {
 			rec.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
 			if b, ok := parseBench(line); ok {
-				rec.Benchmarks = append(rec.Benchmarks, b)
+				// A repeated benchmark name supersedes the earlier result
+				// (the CI retry path concatenates a re-run after the
+				// original stream).
+				replaced := false
+				for i := range rec.Benchmarks {
+					if rec.Benchmarks[i].Name == b.Name {
+						rec.Benchmarks[i] = b
+						replaced = true
+						break
+					}
+				}
+				if !replaced {
+					rec.Benchmarks = append(rec.Benchmarks, b)
+				}
 			}
 		}
 	}
@@ -68,6 +95,79 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *compare != "" {
+		if !diffAgainst(&rec, *compare, strings.Split(*gate, ","), *maxRegress) {
+			os.Exit(1)
+		}
+	}
+}
+
+// diffAgainst reports the wall-clock trajectory versus a previous record
+// and returns false when a gated benchmark regressed beyond the budget.
+func diffAgainst(rec *Record, path string, gated []string, budget float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: compare: %v\n", err)
+		return false
+	}
+	var old Record
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: compare %s: %v\n", path, err)
+		return false
+	}
+	prev := map[string]float64{}
+	for _, b := range old.Benchmarks {
+		prev[b.Name] = b.WallNsPerOp
+	}
+	isGated := map[string]bool{}
+	for _, g := range gated {
+		if g = strings.TrimSpace(g); g != "" {
+			isGated[g] = true
+		}
+	}
+	ok := true
+	regressed := false
+	// A gated benchmark missing from either record means the guard did
+	// not run — fail loudly rather than silently passing.
+	cur := map[string]bool{}
+	for _, b := range rec.Benchmarks {
+		cur[b.Name] = true
+	}
+	for g := range isGated {
+		if !cur[g] {
+			fmt.Fprintf(os.Stderr, "benchjson: gated benchmark %s missing from the new run\n", g)
+			ok = false
+		}
+		if _, seen := prev[g]; !seen {
+			fmt.Fprintf(os.Stderr, "benchjson: gated benchmark %s missing from %s\n", g, path)
+			ok = false
+		}
+	}
+	for _, b := range rec.Benchmarks {
+		was, seen := prev[b.Name]
+		if !seen || was <= 0 || b.WallNsPerOp <= 0 {
+			continue
+		}
+		delta := b.WallNsPerOp/was - 1
+		status := ""
+		if isGated[b.Name] {
+			status = " [gated]"
+			if delta > budget {
+				status = " [gated: FAIL]"
+				ok = false
+				regressed = true
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-22s %8.2fs -> %8.2fs  %+6.1f%%%s\n",
+			b.Name, was/1e9, b.WallNsPerOp/1e9, delta*100, status)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchjson: gated wall-clock regression exceeds %.0f%% vs %s\n",
+			budget*100, path)
+	} else if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: gated benchmark(s) missing; the regression guard did not run\n")
+	}
+	return ok
 }
 
 // parseBench decodes one result line: name, iterations, then

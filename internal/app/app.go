@@ -16,10 +16,15 @@ import (
 
 // Conn is an established connection as seen by the application.
 type Conn interface {
-	// Send queues b for transmission. The bytes are copied (the
-	// libevent-compatible behaviour of libix; §6 notes the extra copy
-	// happens close to use). It returns len(b); flow-control pushback is
-	// delivered through OnSent.
+	// Send queues b for transmission and returns the bytes accepted
+	// (possibly short of len(b) when the connection's pending-send
+	// budget is exhausted; flow-control progress is delivered through
+	// OnSent). The caller may reuse b immediately: each adapter takes
+	// exactly one warm-cache copy close to use (§6) — on IX into the
+	// connection's pooled TX arena, whose bytes the dataplane then
+	// references in place until the peer's ACK releases them (the
+	// zero-copy ownership contract of §3.3); on the baselines into
+	// their kernel/user send buffers.
 	Send(b []byte) int
 	// Close performs an orderly close (FIN).
 	Close()
@@ -46,7 +51,13 @@ type Handler interface {
 	// callback (underlying buffers are recycled after it returns);
 	// handlers copy what they retain.
 	OnRecv(c Conn, data []byte)
-	// OnSent reports acked bytes (flow-control progress).
+	// OnSent is the tx_sent event condition: acked bytes reached the
+	// peer and were acknowledged (flow-control progress). Transmit
+	// buffer reclamation follows the same signal but at segment
+	// granularity — a partially acknowledged segment stays referenced
+	// in full until the ACK covers it — and is handled inside each
+	// adapter (on IX, the libix TX arena's release cursor); the
+	// application's own buffer was free the moment Send returned.
 	OnSent(c Conn, acked int)
 	// OnEOF reports a peer half-close; the usual response is Close.
 	OnEOF(c Conn)

@@ -71,6 +71,10 @@ type Metrics struct {
 	Msgs     stats.Counter
 	Conns    stats.Counter
 	Failures stats.Counter
+	// TxAcked counts bytes the stack reported acknowledged through the
+	// sent event condition (tx_sent) — the zero-copy reclamation signal;
+	// experiments can assert it tracks the bytes offered.
+	TxAcked stats.Counter
 	// Latency is per-RPC round-trip time.
 	Latency *stats.Histogram
 	// Running gates reconnects: when false, clients wind down.
@@ -86,6 +90,7 @@ func NewMetrics() *Metrics {
 func (m *Metrics) ResetWindow() {
 	m.Msgs.Reset()
 	m.Conns.Reset()
+	m.TxAcked.Reset()
 	m.Latency.Reset()
 }
 
@@ -261,7 +266,9 @@ func (cl *client) OnRecv(c app.Conn, data []byte) {
 	}
 }
 
-func (cl *client) OnSent(c app.Conn, n int) {}
+// OnSent consumes the tx_sent event condition: n request bytes were
+// acknowledged by the server and their transmit buffers reclaimed.
+func (cl *client) OnSent(c app.Conn, n int) { cl.cfg.Metrics.TxAcked.Add(uint64(n)) }
 func (cl *client) OnEOF(c app.Conn)         { c.Close() }
 
 func (cl *client) OnClosed(c app.Conn) {

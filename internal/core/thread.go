@@ -36,12 +36,13 @@ type ElasticThread struct {
 	id   int
 	core *sim.Core
 
-	ns    *netstack.Stack
-	wheel *timerwheel.Wheel
-	pool  *mem.MbufPool
-	gate  *dune.Gate
-	rxq   *nicsim.RxQueue
-	txq   *nicsim.TxQueue
+	ns     *netstack.Stack
+	wheel  *timerwheel.Wheel
+	pool   *mem.MbufPool
+	txpool *mem.TxChunkPool
+	gate   *dune.Gate
+	rxq    *nicsim.RxQueue
+	txq    *nicsim.TxQueue
 
 	user UserProgram
 	api  *UserAPI
@@ -63,9 +64,10 @@ type ElasticThread struct {
 	txPending []*fabric.Frame
 	txSpare   []*fabric.Frame
 
-	// cycleFn is the bound cycle method, created once so each wake does
-	// not allocate a method-value closure.
+	// cycleFn/idleFn are bound methods, created once so neither a wake
+	// nor an idle-timer arming allocates a closure.
 	cycleFn func(*sim.Meter)
+	idleFn  func()
 
 	cycleActive bool
 	idleWake    *sim.Event
@@ -108,12 +110,14 @@ func newElasticThread(dp *Dataplane, id int) *ElasticThread {
 		id:         id,
 		core:       sim.NewCore(dp.eng, id),
 		pool:       mem.NewMbufPool(dp.region, id),
+		txpool:     mem.NewTxChunkPool(dp.region, id),
 		gate:       dune.NewGate(id),
 		wheel:      timerwheel.New(timerwheel.DefaultTick, int64(dp.eng.Now())),
 		BatchHist:  stats.NewHistogram(),
 		userTimers: make(map[*userTimer]struct{}),
 	}
 	et.cycleFn = et.cycle
+	et.idleFn = et.idleFired
 	et.rxq = dp.nic.RxQueue(id)
 	et.txq = dp.nic.TxQueue(id)
 	et.rxq.Mode = nicsim.ModePoll
@@ -314,11 +318,14 @@ func (et *ElasticThread) cycleEnd() {
 		if at < et.dp.eng.Now() {
 			at = et.dp.eng.Now()
 		}
-		et.idleWake = et.dp.eng.At(at, func() {
-			et.idleWake = nil
-			et.wake()
-		})
+		et.idleWake = et.dp.eng.At(at, et.idleFn)
 	}
+}
+
+// idleFired is the idle-loop timer wakeup (bound once; see idleFn).
+func (et *ElasticThread) idleFired() {
+	et.idleWake = nil
+	et.wake()
 }
 
 // dispatch executes one batched system call in the dataplane kernel.
@@ -441,11 +448,11 @@ func (te *threadEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
 	})
 }
 
-func (te *threadEvents) Sent(c *tcp.Conn, acked int) {
+func (te *threadEvents) Sent(c *tcp.Conn, acked, released int) {
 	et := te.et()
 	et.events = append(et.events, Event{
 		Type: EvSent, Handle: c.Handle, Cookie: c.Cookie,
-		Bytes: acked, Window: c.UsableWindow(),
+		Bytes: acked, Window: c.UsableWindow(), Released: released,
 	})
 }
 
@@ -530,6 +537,11 @@ func (u *UserAPI) Close(handle uint64) { u.Queue(Syscall{Type: SysClose, Handle:
 
 // Abort issues a RST close.
 func (u *UserAPI) Abort(handle uint64) { u.Queue(Syscall{Type: SysAbort, Handle: handle}) }
+
+// TxChunks exposes the thread's TX arena chunk pool. libix draws
+// per-connection transmit arenas from it; like every hot-path pool it is
+// per-thread memory provisioned from the dataplane's region grant.
+func (u *UserAPI) TxChunks() *mem.TxChunkPool { return u.et.txpool }
 
 // Listen binds this elastic thread's stack to port (per-thread listener;
 // RSS spreads incoming flows across threads).

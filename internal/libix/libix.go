@@ -10,10 +10,15 @@
 //     space, so send-window policy lives entirely in user space;
 //   - enforces a maximum pending-send byte limit (the paper's "very
 //     basic" buffer sizing policy);
-//   - provides copying, libevent-compatible semantics — the extra copy
-//     happens close to use, which §6 observes is cheap — while recycling
-//     the kernel's read-only mbufs via batched recv_done calls as soon as
-//     the handler returns.
+//   - owns a per-connection zero-copy TX arena: Send appends the message
+//     into pooled arena chunks (one warm-cache copy, no allocation), the
+//     transmit vector and the kernel's retransmission queue reference
+//     arena bytes in place, and the `sent` event condition's release
+//     count — cumulative-ACK-driven — reclaims chunks. This is the
+//     paper's §3.3 ownership contract ("may not be modified until the
+//     sent event condition signals the peer's ACK") made explicit;
+//   - recycles the kernel's read-only RX mbufs via batched recv_done
+//     calls as soon as the handler returns.
 package libix
 
 import (
@@ -32,8 +37,12 @@ const (
 	MaxPendingSend = 1 << 20
 	// dispatchCost is the per-event user-level dispatch overhead.
 	dispatchCost = 18 * time.Nanosecond
-	// copyPerByte is the libevent-compatibility copy (ns/byte); the data
-	// is warm in cache, having just been produced.
+	// copyPerByte is the arena-append cost (ns/byte): the single
+	// warm-cache copy of the message into the TX arena, the same copy
+	// the pre-arena path charged for its libevent-compatibility buffer —
+	// what the arena removes is the per-message heap allocation (a real
+	// wall-clock cost, never part of the simulated cost model), so the
+	// charge is unchanged.
 	copyPerByte = 0.06
 )
 
@@ -42,8 +51,9 @@ const (
 func Program(factory app.Factory) func(api *core.UserAPI, thread, threads int) core.UserProgram {
 	return func(api *core.UserAPI, thread, threads int) core.UserProgram {
 		p := &program{
-			api:   api,
-			conns: make(map[uint64]*conn),
+			api:     api,
+			txchunk: api.TxChunks(),
+			conns:   make(map[uint64]*conn),
 		}
 		p.handler = factory(p, thread, threads)
 		return p
@@ -53,38 +63,57 @@ func Program(factory app.Factory) func(api *core.UserAPI, thread, threads int) c
 // program is the per-elastic-thread event loop.
 type program struct {
 	api     *core.UserAPI
+	txchunk *mem.TxChunkPool
 	handler app.Handler
 	conns   map[uint64]*conn
 	dirty   []*conn // connections with work to flush this round
 }
 
-// conn is the user-level connection state (the transmit vector and
-// receive recycling state).
+// conn is the user-level connection state: the zero-copy TX arena, the
+// transmit vector over it, and receive recycling state.
 type conn struct {
 	p      *program
 	handle uint64
 	cookie any
 
-	// Transmit vector: pending segments not yet accepted by the kernel.
+	// arena holds the connection's outgoing bytes; txq entries and the
+	// kernel's retransmission segments reference it in place. Released
+	// by the sent event condition's cumulative-ACK count.
+	arena mem.TxArena
+
+	// Transmit vector: arena views not yet accepted by the kernel.
+	// txHead is the consumption cursor; the backing array resets to the
+	// front whenever the vector drains, so steady state does not
+	// allocate.
 	txq     [][]byte
+	txHead  int
 	txBytes int
 	issued  bool // a sendv is in the current batch
 	stalled bool // last sendv was trimmed; wait for a sent event
 	closed  bool
 
-	// Receive recycling accumulated during this round.
+	// Receive recycling accumulated during this round. rdBufs and
+	// rdSpare ping-pong: the batch issued to recv_done is consumed (and
+	// its entries dropped) within the same cycle, so the two backings
+	// alternate allocation-free.
 	rdBytes int
 	rdBufs  []*mem.Mbuf
+	rdSpare []*mem.Mbuf
 
 	inDirty bool
 }
 
 var _ app.Conn = (*conn)(nil)
 
-// Send copies b into the transmit vector (libevent-compatible semantics)
-// and schedules a coalesced sendv. Bytes beyond the pending-send limit
-// are dropped and reported short, pushing the buffering decision back to
-// the application.
+// Send appends b to the connection's TX arena and schedules a coalesced
+// sendv over the arena views. No allocation happens: the bytes take one
+// warm-cache copy into a pooled chunk and are then referenced in place
+// by the transmit vector and, once transmitted, the kernel's
+// retransmission queue — immutable until the sent event condition's
+// release count passes them (the §3.3 ownership contract). Bytes beyond
+// the pending-send limit (or an exhausted chunk pool) are dropped and
+// reported short, pushing the buffering decision back to the
+// application; only accepted bytes are charged.
 func (c *conn) Send(b []byte) int {
 	if c.closed {
 		return 0
@@ -96,12 +125,42 @@ func (c *conn) Send(b []byte) int {
 	if len(b) > room {
 		b = b[:room]
 	}
-	c.p.api.Charge(time.Duration(float64(len(b)) * copyPerByte))
-	cp := append([]byte(nil), b...)
-	c.txq = append(c.txq, cp)
-	c.txBytes += len(cp)
+	accepted := 0
+	for len(b) > 0 {
+		v := c.arena.Append(b)
+		if len(v) == 0 {
+			break // chunk pool exhausted: accept what we have
+		}
+		c.pushTx(v)
+		accepted += len(v)
+		b = b[len(v):]
+	}
+	if accepted == 0 {
+		return 0
+	}
+	c.p.api.Charge(time.Duration(float64(accepted) * copyPerByte))
+	c.txBytes += accepted
 	c.markDirty()
-	return len(cp)
+	return accepted
+}
+
+// pushTx appends an arena view to the transmit vector, merging it with
+// the tail entry when contiguous (consecutive appends to one chunk), so
+// small messages coalesce into single scatter-gather entries. The
+// merged entry keeps the chunk-extending capacity TxChunk.Append hands
+// out, so any number of consecutive views coalesce, not just pairs.
+func (c *conn) pushTx(v []byte) {
+	if n := len(c.txq); n > c.txHead {
+		tail := c.txq[n-1]
+		if len(tail) > 0 && cap(tail) >= len(tail)+len(v) {
+			ext := tail[:len(tail)+len(v)]
+			if &ext[len(tail)] == &v[0] {
+				c.txq[n-1] = ext
+				return
+			}
+		}
+	}
+	c.txq = append(c.txq, v)
 }
 
 // Unsent reports bytes not yet accepted by the dataplane.
@@ -158,9 +217,16 @@ func (p *program) Listen(port uint16) error { return p.api.Listen(port) }
 // After schedules fn on the thread's timer service.
 func (p *program) After(d time.Duration, fn func()) { p.api.After(d, fn) }
 
+// newConn builds a connection with its arena wired to the thread pool.
+func (p *program) newConn(handle uint64, cookie any) *conn {
+	c := &conn{p: p, handle: handle, cookie: cookie}
+	c.arena.Init(p.txchunk)
+	return c
+}
+
 // Connect initiates a connection; OnConnected reports the outcome.
 func (p *program) Connect(dst wire.IPv4, port uint16, cookie any) error {
-	c := &conn{p: p, cookie: cookie}
+	c := p.newConn(0, cookie)
 	p.api.Connect(c, dst, port)
 	return nil
 }
@@ -184,11 +250,14 @@ func (p *program) Run(api *core.UserAPI, events []core.Event, results []core.Sys
 		if c.rdBytes > 0 || len(c.rdBufs) > 0 {
 			api.RecvDone(c.handle, c.rdBytes, c.rdBufs)
 			c.rdBytes = 0
-			c.rdBufs = nil
+			// The issued batch is consumed by the kernel phase of this
+			// same cycle; ping-pong the backings so the next round's
+			// accumulation does not allocate.
+			c.rdBufs, c.rdSpare = c.rdSpare[:0], c.rdBufs
 		}
 		if c.txBytes > 0 && !c.issued && !c.stalled && !c.closed && c.handle != 0 {
 			c.issued = true
-			api.Sendv(c.handle, c.txq)
+			api.Sendv(c.handle, c.txq[c.txHead:])
 		}
 	}
 	p.dirty = p.dirty[:0]
@@ -202,7 +271,10 @@ func (p *program) processResult(r *core.SyscallResult) {
 			return
 		}
 		if r.Err != nil {
-			p.handler.OnConnected(c, false)
+			// The kernel also appends an EvConnected(false) condition for
+			// a failed connect; that event — processed later this same
+			// Run — delivers the single OnConnected callback and releases
+			// the arena. Reporting here too would double the failure.
 			return
 		}
 		c.handle = r.Handle
@@ -232,14 +304,30 @@ func (c *conn) consumeTx(n int) {
 	if c.txBytes < 0 {
 		c.txBytes = 0
 	}
-	for n > 0 && len(c.txq) > 0 {
-		if len(c.txq[0]) <= n {
-			n -= len(c.txq[0])
-			c.txq = c.txq[1:]
+	for n > 0 && c.txHead < len(c.txq) {
+		e := c.txq[c.txHead]
+		if len(e) <= n {
+			n -= len(e)
+			c.txq[c.txHead] = nil
+			c.txHead++
 		} else {
-			c.txq[0] = c.txq[0][n:]
+			c.txq[c.txHead] = e[n:]
 			n = 0
 		}
+	}
+	if c.txHead == len(c.txq) {
+		c.txq = c.txq[:0]
+		c.txHead = 0
+	} else if c.txHead >= 32 && c.txHead*2 >= len(c.txq) {
+		// A flow-controlled connection that never fully drains would
+		// otherwise grow the dead prefix forever; compact the live
+		// entries to the front.
+		n := copy(c.txq, c.txq[c.txHead:])
+		for i := n; i < len(c.txq); i++ {
+			c.txq[i] = nil
+		}
+		c.txq = c.txq[:n]
+		c.txHead = 0
 	}
 }
 
@@ -247,7 +335,7 @@ func (p *program) processEvent(ev *core.Event) {
 	p.api.Charge(dispatchCost)
 	switch ev.Type {
 	case core.EvKnock:
-		c := &conn{p: p, handle: ev.Handle}
+		c := p.newConn(ev.Handle, nil)
 		p.conns[ev.Handle] = c
 		// Accept with the libix conn as kernel cookie so later events
 		// resolve without a map lookup (the Table 1 cookie design).
@@ -261,6 +349,7 @@ func (p *program) processEvent(ev *core.Event) {
 		if !ev.Outcome {
 			delete(p.conns, c.handle)
 			c.closed = true
+			c.arena.ReleaseAll()
 			p.handler.OnConnected(c, false)
 			return
 		}
@@ -288,6 +377,13 @@ func (p *program) processEvent(ev *core.Event) {
 		if c == nil {
 			return
 		}
+		// tx_sent: the ACK-driven reclamation step. The kernel dropped
+		// its references to these arena bytes when the cumulative ACK
+		// trimmed its retransmission queue; advance the release cursor,
+		// returning drained chunks to the pool.
+		if ev.Released > 0 {
+			c.arena.Release(ev.Released)
+		}
 		if c.stalled && ev.Window > 0 {
 			c.stalled = false
 			if c.txBytes > 0 {
@@ -308,6 +404,19 @@ func (p *program) processEvent(ev *core.Event) {
 		}
 		delete(p.conns, c.handle)
 		c.closed = true
+		// The kernel dropped the connection's retransmission queue with
+		// the flow; nothing references the arena any more.
+		c.arena.ReleaseAll()
+		// Recycle receive buffers still pending from this batch locally:
+		// the handle is already revoked, so a recv_done for it would be
+		// rejected before the kernel's own Unref loop ran (leaking the
+		// delivery references taken for EvRecv).
+		for i, b := range c.rdBufs {
+			b.Unref()
+			c.rdBufs[i] = nil
+		}
+		c.rdBufs = c.rdBufs[:0]
+		c.rdBytes = 0
 		p.handler.OnClosed(c)
 	case core.EvTimer:
 		if ev.Fn != nil {

@@ -79,10 +79,6 @@ type Host struct {
 
 	listening map[uint16]bool
 	timerWake *sim.Event
-	// timerRanAt is the instant the kernel timer task last ran, to stop
-	// an idle core from re-arming a same-instant wake for a deadline the
-	// wheel cannot fire until its next tick boundary (a livelock).
-	timerRanAt sim.Time
 	// Bound callbacks, created once (closures allocate).
 	timerFired func()
 	timerTask  func(*sim.Meter)
@@ -103,12 +99,11 @@ func New(eng *sim.Engine, cfg Config) *Host {
 		cfg.MemPages = 512
 	}
 	h := &Host{
-		eng:        eng,
-		cfg:        cfg,
-		arp:        netstack.NewARPTable(),
-		region:     mem.NewRegion(cfg.MemPages),
-		listening:  make(map[uint16]bool),
-		timerRanAt: -1,
+		eng:       eng,
+		cfg:       cfg,
+		arp:       netstack.NewARPTable(),
+		region:    mem.NewRegion(cfg.MemPages),
+		listening: make(map[uint16]bool),
 	}
 	h.timerFired = h.onTimerWake
 	h.timerTask = h.runTimerTask
@@ -192,22 +187,21 @@ func (h *Host) ResetStats() {
 }
 
 // ensureTimerWake arranges a kernel tick for the next timer deadline.
+// It arms at the wheel's NextFireTime, which quantizes a deadline
+// inside the current wheel tick up to the next tick boundary — the
+// same-instant livelock fix, now shared with mtcpstack through the
+// timerwheel API instead of the old timerRanAt re-arm guard.
 func (h *Host) ensureTimerWake() {
-	nd, ok := h.wheel.NextDeadline()
+	ft, ok := h.wheel.NextFireTime()
 	if !ok {
 		return
 	}
-	now := h.eng.Now()
-	at := sim.Time(nd)
-	if at < now {
-		at = now
-	}
-	if at == now && h.timerRanAt == now {
-		// The timer task just ran at this instant and the earliest
-		// deadline still lies inside the wheel's current tick: the wheel
-		// cannot fire it before the next tick boundary. Re-arming at now
-		// would spin an idle core forever at one virtual instant.
-		at = sim.Time(h.wheel.NextTickTime())
+	at := sim.Time(ft)
+	if at < h.eng.Now() {
+		// The wheel's clock lags the engine (no softirq ran lately):
+		// wake now; the task's Advance catches the wheel up and the next
+		// arming lands strictly in the future.
+		at = h.eng.Now()
 	}
 	if h.timerWake != nil {
 		if h.timerWake.At() <= at {
@@ -229,7 +223,6 @@ func (h *Host) runTimerTask(m *sim.Meter) {
 	k := h.cores[0]
 	h.cur = k
 	k.curMeter = m
-	h.timerRanAt = h.eng.Now()
 	h.wheel.Advance(int64(h.eng.Now()))
 	h.ns.Flush()
 	k.curMeter = nil

@@ -160,7 +160,9 @@ func (ke *kernelEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
 	k.enqueueReady(s)
 }
 
-func (ke *kernelEvents) Sent(c *tcp.Conn, acked int) {
+// Sent ignores released: the kernel sndbuf slides by accepted bytes,
+// not by segment reclamation.
+func (ke *kernelEvents) Sent(c *tcp.Conn, acked, released int) {
 	k := ke.k()
 	s, _ := c.Cookie.(*sock)
 	if s == nil {

@@ -1,0 +1,225 @@
+// TX arena chunks: the memory behind the zero-copy libix transmit path.
+//
+// The paper's sendv contract (§3.3, §4.5) is that the application hands
+// buffers to the dataplane and may not touch them until the `sent` event
+// condition reports the peer's acknowledgment. libix implements that
+// contract with a per-connection arena built from pooled, fixed-size
+// chunks: Send appends message bytes to the arena, the transmit vector
+// and the TCP retransmission queue reference arena bytes in place, and a
+// release cursor — advanced only by cumulative ACK — returns drained
+// chunks to the pool. Chunks follow the §4.2 region model: per-thread
+// pools provisioned from the dataplane's large-page grant, free lists,
+// no synchronization.
+package mem
+
+// TxChunkSize is the payload capacity of one TX arena chunk. Small
+// enough that short-lived RPC traffic cycles a single chunk per
+// connection, large enough that a bulk send does not fragment into
+// hundreds of scatter-gather entries.
+const TxChunkSize = 16 << 10
+
+// txChunksPerPage is how many chunks one large page provisions.
+const txChunksPerPage = PageSize / TxChunkSize
+
+// A TxChunk is one fixed-size arena chunk. Bytes between the release
+// cursor of its arena and its write cursor are referenced by the
+// dataplane's transmit path (txq scatter-gather entries and TCP
+// retransmission segments) and must stay immutable.
+type TxChunk struct {
+	buf  [TxChunkSize]byte
+	used int
+	pool *TxChunkPool
+}
+
+// Used returns the number of bytes written.
+func (k *TxChunk) Used() int { return k.used }
+
+// Room returns the bytes still writable.
+func (k *TxChunk) Room() int { return TxChunkSize - k.used }
+
+// Append copies as much of b as fits and returns the chunk-backed view
+// of the appended bytes (empty when the chunk is full). The view stays
+// valid — and its bytes immutable — until the owning arena's release
+// cursor passes it. The view's capacity deliberately extends to the
+// chunk end so a later contiguous append can be merged into it by
+// reslicing; callers must never grow the view themselves.
+func (k *TxChunk) Append(b []byte) []byte {
+	n := copy(k.buf[k.used:], b)
+	v := k.buf[k.used : k.used+n]
+	k.used += n
+	return v
+}
+
+// Reset rewinds the write cursor. Only legal when no live reference to
+// the chunk's bytes remains (the arena enforces this).
+func (k *TxChunk) Reset() { k.used = 0 }
+
+// Release returns the chunk to its pool. Only legal when no live
+// reference to the chunk's bytes remains.
+func (k *TxChunk) Release() {
+	k.used = 0
+	k.pool.put(k)
+}
+
+// TxChunkPool is a per-thread free-list pool of TX arena chunks,
+// provisioned from a Region in page-sized blocks (chunks materialize
+// lazily, like mbufs).
+type TxChunkPool struct {
+	region *Region
+	free   []*TxChunk
+	// Owner tags the elastic thread the pool belongs to.
+	Owner int
+
+	allocated int // chunks backed by taken pages
+	spare     int // page-backed chunks not yet materialized
+	inUse     int
+
+	// Stats.
+	Allocs    uint64
+	Frees     uint64
+	Exhausted uint64 // allocation failures (region dry)
+}
+
+// NewTxChunkPool returns a pool drawing from region, tagged with owner.
+func NewTxChunkPool(region *Region, owner int) *TxChunkPool {
+	return &TxChunkPool{region: region, Owner: owner}
+}
+
+// Alloc returns an empty chunk, or nil if the region is exhausted (the
+// caller accepts fewer bytes, pushing buffering back to the app).
+func (p *TxChunkPool) Alloc() *TxChunk {
+	var k *TxChunk
+	if n := len(p.free); n > 0 {
+		k = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		if p.spare == 0 {
+			if !p.region.TakePage() {
+				p.Exhausted++
+				return nil
+			}
+			p.spare = txChunksPerPage
+			p.allocated += txChunksPerPage
+		}
+		p.spare--
+		k = &TxChunk{pool: p}
+	}
+	k.used = 0
+	p.inUse++
+	p.Allocs++
+	return k
+}
+
+func (p *TxChunkPool) put(k *TxChunk) {
+	p.inUse--
+	p.Frees++
+	p.free = append(p.free, k)
+}
+
+// InUse returns the number of chunks held by arenas.
+func (p *TxChunkPool) InUse() int { return p.inUse }
+
+// Provisioned returns the number of chunks backed by pages so far.
+func (p *TxChunkPool) Provisioned() int { return p.allocated }
+
+// A TxArena is one connection's FIFO transmit arena. Appends go to the
+// newest chunk; the release cursor — advanced only as TCP reports
+// segments fully acknowledged — trails through the oldest. Between the
+// two cursors the bytes are immutable: they are referenced in place by
+// the transmit vector and the retransmission queue. Chunks return to
+// the pool the moment the release cursor passes them, so a connection
+// in request-response steady state cycles one chunk through the free
+// list with no allocation.
+type TxArena struct {
+	pool   *TxChunkPool
+	chunks []*TxChunk // chunks[head:] are live; the last is the write chunk
+	head   int
+	relOff int // released bytes within chunks[head]
+	live   int // appended and not yet released bytes
+}
+
+// Init points the arena at its chunk pool.
+func (a *TxArena) Init(pool *TxChunkPool) { a.pool = pool }
+
+// Live returns bytes appended but not yet released.
+func (a *TxArena) Live() int { return a.live }
+
+// Chunks returns the number of chunks the arena currently holds.
+func (a *TxArena) Chunks() int { return len(a.chunks) - a.head }
+
+// Append copies a prefix of b into the arena and returns the
+// arena-backed view of it; the view's bytes stay immutable until
+// Release passes them. A shorter-than-b view means the write chunk
+// filled — call again with the remainder. An empty view means the pool
+// is exhausted.
+func (a *TxArena) Append(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	var k *TxChunk
+	if n := len(a.chunks); n > a.head {
+		k = a.chunks[n-1]
+	}
+	if k == nil || k.Room() == 0 {
+		k = a.pool.Alloc()
+		if k == nil {
+			return nil
+		}
+		a.chunks = append(a.chunks, k)
+	}
+	v := k.Append(b)
+	a.live += len(v)
+	return v
+}
+
+// Release advances the release cursor by n bytes — the ACK-driven
+// reclamation step. Chunks the cursor has fully passed return to the
+// pool; the write chunk is released too once every appended byte is
+// acknowledged (the request-response steady state), so idle connections
+// pin no chunks.
+func (a *TxArena) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	a.live -= n
+	if a.live < 0 {
+		a.live = 0
+	}
+	a.relOff += n
+	for a.head < len(a.chunks) {
+		k := a.chunks[a.head]
+		if a.relOff < k.used {
+			break
+		}
+		if a.head == len(a.chunks)-1 && a.live > 0 {
+			// The write chunk still holds unreleased bytes beyond the
+			// cursor arithmetic (defensive; cannot happen when releases
+			// mirror appends).
+			break
+		}
+		a.relOff -= k.used
+		k.Release()
+		a.chunks[a.head] = nil
+		a.head++
+	}
+	if a.head == len(a.chunks) {
+		a.chunks = a.chunks[:0]
+		a.head = 0
+		a.relOff = 0
+	}
+}
+
+// ReleaseAll returns every chunk to the pool regardless of the release
+// cursor. Only legal once nothing references the arena — i.e. the
+// owning connection is dead and its retransmission queue dropped.
+func (a *TxArena) ReleaseAll() {
+	for i := a.head; i < len(a.chunks); i++ {
+		a.chunks[i].Release()
+		a.chunks[i] = nil
+	}
+	a.chunks = a.chunks[:0]
+	a.head = 0
+	a.relOff = 0
+	a.live = 0
+}

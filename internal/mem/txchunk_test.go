@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTxChunkPoolRegionAccounting: chunks provision from the region at
+// page granularity and recycle through the free list without taking
+// further pages.
+func TestTxChunkPoolRegionAccounting(t *testing.T) {
+	r := NewRegion(1)
+	p := NewTxChunkPool(r, 0)
+	var got []*TxChunk
+	for i := 0; i < txChunksPerPage; i++ {
+		k := p.Alloc()
+		if k == nil {
+			t.Fatalf("alloc %d failed with a page available", i)
+		}
+		got = append(got, k)
+	}
+	if r.Used() != 1 {
+		t.Fatalf("used pages = %d, want 1", r.Used())
+	}
+	if p.Alloc() != nil {
+		t.Fatal("allocation succeeded beyond the region grant")
+	}
+	if p.Exhausted != 1 {
+		t.Fatalf("Exhausted = %d, want 1", p.Exhausted)
+	}
+	for _, k := range got {
+		k.Release()
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d after releasing all", p.InUse())
+	}
+	// Recycling serves from the free list: no more pages taken.
+	for i := 0; i < 2*txChunksPerPage; i++ {
+		k := p.Alloc()
+		if k == nil {
+			t.Fatalf("recycled alloc %d failed", i)
+		}
+		k.Release()
+	}
+	if r.Used() != 1 {
+		t.Fatalf("used pages = %d after recycling, want 1", r.Used())
+	}
+}
+
+// TestTxArenaFIFOReclaim: the release cursor frees chunks in append
+// order, and a fully drained arena holds no chunks.
+func TestTxArenaFIFOReclaim(t *testing.T) {
+	p := NewTxChunkPool(NewRegion(4), 0)
+	var a TxArena
+	a.Init(p)
+
+	// Fill two chunks and a bit of a third.
+	msg := bytes.Repeat([]byte{0xab}, TxChunkSize/2)
+	total := 0
+	for i := 0; i < 5; i++ {
+		b := msg
+		for len(b) > 0 {
+			v := a.Append(b)
+			if len(v) == 0 {
+				t.Fatal("append failed")
+			}
+			b = b[len(v):]
+			total += len(v)
+		}
+	}
+	if a.Live() != total {
+		t.Fatalf("Live = %d, want %d", a.Live(), total)
+	}
+	if a.Chunks() != 3 {
+		t.Fatalf("chunks = %d, want 3", a.Chunks())
+	}
+	// Releasing one chunk's worth frees exactly the first chunk.
+	a.Release(TxChunkSize)
+	if p.InUse() != 2 {
+		t.Fatalf("InUse = %d after first chunk released, want 2", p.InUse())
+	}
+	// Release the rest: everything returns, cursors reset.
+	a.Release(total - TxChunkSize)
+	if p.InUse() != 0 || a.Chunks() != 0 || a.Live() != 0 {
+		t.Fatalf("drained arena: InUse=%d chunks=%d live=%d", p.InUse(), a.Chunks(), a.Live())
+	}
+}
+
+// TestTxArenaViewsImmutableUntilRelease: views returned by Append keep
+// their bytes until the release cursor passes them, even as later
+// appends land in the same chunk.
+func TestTxArenaViewsImmutableUntilRelease(t *testing.T) {
+	p := NewTxChunkPool(NewRegion(4), 0)
+	var a TxArena
+	a.Init(p)
+	v1 := a.Append([]byte("first-message"))
+	v2 := a.Append([]byte("second-message"))
+	if string(v1) != "first-message" || string(v2) != "second-message" {
+		t.Fatalf("views corrupted: %q %q", v1, v2)
+	}
+	// Releasing only v1 must leave v2 intact (same chunk still live).
+	a.Release(len(v1))
+	if string(v2) != "second-message" {
+		t.Fatalf("v2 corrupted after partial release: %q", v2)
+	}
+	if p.InUse() != 1 {
+		t.Fatalf("chunk freed while v2 live: InUse=%d", p.InUse())
+	}
+	a.Release(len(v2))
+	if p.InUse() != 0 {
+		t.Fatalf("chunk not freed after full release: InUse=%d", p.InUse())
+	}
+}
+
+// TestTxArenaReleaseAll drops every chunk regardless of cursor state.
+func TestTxArenaReleaseAll(t *testing.T) {
+	p := NewTxChunkPool(NewRegion(4), 0)
+	var a TxArena
+	a.Init(p)
+	big := make([]byte, 3*TxChunkSize)
+	for b := big; len(b) > 0; {
+		v := a.Append(b)
+		b = b[len(v):]
+	}
+	a.Release(10) // partial
+	a.ReleaseAll()
+	if p.InUse() != 0 || a.Live() != 0 || a.Chunks() != 0 {
+		t.Fatalf("ReleaseAll left InUse=%d live=%d chunks=%d", p.InUse(), a.Live(), a.Chunks())
+	}
+}
+
+// TestZeroAllocTxArenaCycle: the steady-state append/release cycle — one
+// message in, ACK releases it — must not allocate once warm.
+func TestZeroAllocTxArenaCycle(t *testing.T) {
+	p := NewTxChunkPool(NewRegion(4), 0)
+	var a TxArena
+	a.Init(p)
+	msg := make([]byte, 64)
+	// Warm the pool and the arena's chunk slice.
+	v := a.Append(msg)
+	a.Release(len(v))
+	allocs := testing.AllocsPerRun(1000, func() {
+		w := a.Append(msg)
+		a.Release(len(w))
+	})
+	if allocs != 0 {
+		t.Fatalf("arena append/release allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkTxArenaAppendRelease(b *testing.B) {
+	p := NewTxChunkPool(NewRegion(4), 0)
+	var a TxArena
+	a.Init(p)
+	msg := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := a.Append(msg)
+		a.Release(len(v))
+	}
+}

@@ -356,14 +356,22 @@ func (m *mcore) dispatch(mc *mconn, meter *sim.Meter) {
 	}
 }
 
-// ensureTimerWake arranges the next retransmission tick.
+// ensureTimerWake arranges the next retransmission tick. It arms at the
+// wheel's NextFireTime — never the raw deadline: a deadline inside the
+// current wheel tick cannot fire before the next tick boundary, and
+// waking for it earlier spins poll rounds on an idle core at one
+// instant after another (the cousin of the linuxstack same-instant
+// livelock, now fixed the same way in both stacks).
 func (m *mcore) ensureTimerWake() {
-	nd, ok := m.wheel.NextDeadline()
+	ft, ok := m.wheel.NextFireTime()
 	if !ok {
 		return
 	}
-	at := sim.Time(nd)
+	at := sim.Time(ft)
 	if at < m.h.eng.Now() {
+		// The wheel's clock lags the engine (no poll round ran lately):
+		// wake now; the round's Advance catches the wheel up and the
+		// next arming lands strictly in the future.
 		at = m.h.eng.Now()
 	}
 	if m.timerWake != nil {
@@ -593,7 +601,9 @@ func (me *mtcpEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
 	m.enqueueEv(mc)
 }
 
-func (me *mtcpEvents) Sent(c *tcp.Conn, acked int) {
+// Sent ignores released: mTCP's user-level sndbuf slides by accepted
+// bytes, not by segment reclamation.
+func (me *mtcpEvents) Sent(c *tcp.Conn, acked, released int) {
 	m := me.m()
 	mc, _ := c.Cookie.(*mconn)
 	if mc == nil {

@@ -82,3 +82,41 @@ func TestHandoffLatencyFloor(t *testing.T) {
 		t.Fatalf("mTCP RPC RTT = %v, want ~100µs (handoff-dominated)", avg)
 	}
 }
+
+// TestTimerWakeSkipsCurrentTick: a deadline landing inside the wheel's
+// current tick on an idle core must arm the wake at the next tick
+// boundary — not at the current instant, which would re-run poll rounds
+// one virtual instant after another until the boundary (the cousin of
+// the linuxstack same-instant livelock, unified behind
+// timerwheel.NextFireTime).
+func TestTimerWakeSkipsCurrentTick(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := New(eng, Config{
+		Name: "m", IP: wire.Addr4(10, 0, 0, 9), MAC: wire.MAC{2, 0, 0, 0, 0, 9}, Cores: 1,
+	})
+	h.cfg.Factory = func(env app.Env, th, n int) app.Handler {
+		return &pingpong{got: new([]byte), env: env}
+	}
+	h.Start()
+	eng.Run()
+	m := h.cores[0]
+
+	// Advance the engine and wheel mid-tick, then plant a deadline
+	// inside the current tick.
+	tick := int64(16 * time.Microsecond)
+	mid := sim.Time(10*tick + tick/2)
+	eng.At(mid, func() {})
+	eng.Run()
+	m.wheel.Advance(int64(eng.Now()))
+	m.wheel.Add(int64(eng.Now()), func() {})
+
+	m.ensureTimerWake()
+	if m.timerWake == nil {
+		t.Fatal("no timer wake armed for a pending deadline")
+	}
+	if got := m.timerWake.At(); got == eng.Now() {
+		t.Fatalf("timer wake armed at the current instant %v (would spin rounds); want the tick boundary", got)
+	} else if want := sim.Time(11 * tick); got != want {
+		t.Fatalf("timer wake at %v, want next tick boundary %v", got, want)
+	}
+}

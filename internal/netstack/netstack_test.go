@@ -19,7 +19,7 @@ func (n *nullEvents) Connected(c *tcp.Conn, ok bool)               {}
 func (n *nullEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
 	n.recvd = append(n.recvd, data...)
 }
-func (n *nullEvents) Sent(c *tcp.Conn, acked int)    {}
+func (n *nullEvents) Sent(c *tcp.Conn, acked, released int) {}
 func (n *nullEvents) RemoteClosed(c *tcp.Conn)       {}
 func (n *nullEvents) Dead(c *tcp.Conn, r tcp.Reason) {}
 

@@ -190,20 +190,18 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// alloc returns an event ready to schedule. Pooled events are recycled
-// after they fire; non-pooled events are fresh allocations because the
-// caller holds the pointer (for Cancel) indefinitely.
-func (e *Engine) alloc(pooled bool) *Event {
-	if pooled {
-		if n := len(e.free); n > 0 {
-			ev := e.free[n-1]
-			e.free[n-1] = nil
-			e.free = e.free[:n-1]
-			return ev
-		}
-		return &Event{pooled: true}
+// alloc returns an event ready to schedule, recycled from the free list
+// when possible. Every event returns to the pool when it fires or is
+// cancelled, so steady-state scheduling — including the cancellable
+// At/Cancel idle-wake churn of the OS models — does not allocate.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
 	}
-	return &Event{}
+	return &Event{pooled: true}
 }
 
 // recycle clears a popped event and returns pooled ones to the free list.
@@ -237,10 +235,13 @@ func (e *Engine) schedule(ev *Event) {
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
 // it always indicates a modelling bug.
 //
-// The returned event may be cancelled until it fires. Once it has fired,
-// the pointer must not be handed back to Cancel from a stale reference.
+// The returned event may be cancelled until it fires. Once it has fired
+// or been cancelled it belongs to the engine's pool again: the pointer
+// must not be handed back to Cancel from a stale reference — null the
+// reference when the callback runs or right after cancelling, as every
+// in-tree caller does.
 func (e *Engine) At(t Time, fn func()) *Event {
-	ev := e.alloc(false)
+	ev := e.alloc()
 	ev.at = t
 	ev.fn = fn
 	e.schedule(ev)
@@ -260,7 +261,7 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 // reference escapes. This is the allocation-free path for fire-and-forget
 // hot-path work (frame arrivals, task dispatch, TX completions).
 func (e *Engine) Call(t Time, fn func(any), arg any) {
-	ev := e.alloc(true)
+	ev := e.alloc()
 	ev.at = t
 	ev.fnArg = fn
 	ev.arg = arg
@@ -276,10 +277,11 @@ func (e *Engine) CallAfter(d time.Duration, fn func(any), arg any) {
 	e.Call(e.now.Add(d), fn, arg)
 }
 
-// Cancel prevents ev from firing. Cancelling a nil, already-fired, or
-// already-cancelled event is a no-op. Heap events are removed eagerly
-// (they may be far in the future); same-instant ring events are marked
-// and skipped when reached.
+// Cancel prevents ev from firing. Cancelling a nil or already-cancelled
+// event is a no-op. Heap events are removed eagerly and recycled (they
+// may be far in the future); same-instant ring events are marked and
+// recycled when the engine reaches them. The pointer is dead after
+// Cancel returns.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.canceled {
 		return
@@ -287,6 +289,7 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.canceled = true
 	if ev.index >= 0 {
 		e.events.remove(ev.index)
+		e.recycle(ev)
 	}
 }
 

@@ -101,8 +101,13 @@ type Events interface {
 	// the receive window stays closed until RecvDone returns the bytes.
 	Recv(c *Conn, buf *mem.Mbuf, data []byte)
 	// Sent fires when previously accepted bytes are acknowledged and/or
-	// the usable send window grows (the sent event condition).
-	Sent(c *Conn, acked int)
+	// the usable send window grows (the sent event condition). released
+	// is the payload-byte count of transmit segments this cumulative ACK
+	// fully covered: the stack has dropped every reference to those
+	// bytes, so the zero-copy sender may reclaim them (the ACK-driven
+	// release hook of the tx arena). released never exceeds acked and
+	// lags it while a segment is only partially acknowledged.
+	Sent(c *Conn, acked, released int)
 	// RemoteClosed fires when the peer sends FIN (half-close); the
 	// usual response is to Close. libix maps it to an EOF-style event.
 	RemoteClosed(c *Conn)
@@ -113,7 +118,9 @@ type Events interface {
 // Output is how the stack emits segments: the embedding layer prepends
 // IP/Ethernet framing and hands the frame to its NIC queue. payload
 // slices are owned by the application (zero-copy transmit) and must be
-// treated as immutable.
+// treated as immutable. The payload slice-of-slices itself is a scratch
+// the stack reuses across segments: Output must consume it before
+// returning (all embeddings copy into a frame synchronously).
 type Output func(c *Conn, hdr *wire.TCPHeader, payload [][]byte)
 
 // Config parameterizes a Stack.
@@ -181,6 +188,15 @@ type Stack struct {
 	needsAck  []*Conn
 	isn       uint64
 	nextPort  uint16
+	// sg is the scratch scatter-gather array segments are assembled in
+	// before their fragment references move into the txSeg; reused so
+	// steady-state transmit does not allocate.
+	sg [][]byte
+	// hdr is the scratch header the hot emit paths fill: passing a
+	// stack-local header into the dynamic Output func forces it to the
+	// heap, one hidden allocation per segment. Emissions never nest
+	// (Output copies into a frame and returns), so one scratch is safe.
+	hdr wire.TCPHeader
 
 	// Stats.
 	SegsIn, SegsOut uint64
@@ -261,14 +277,49 @@ func (s *Stack) nextISS() uint32 {
 	return uint32(s.isn >> 32)
 }
 
-// txSeg is one unacknowledged transmitted segment.
+// txSeg is one unacknowledged transmitted segment. It references the
+// sender's bytes in place — (chunk, offset, len) references into the
+// libix tx arena, or views into a kernel sndbuf for the baselines —
+// rather than owning a copy: the zero-copy contract is that those bytes
+// stay immutable until the segment is fully acknowledged and the
+// reference dropped. The common segment is at most two fragments (one
+// contiguous arena run, or one run spanning a chunk boundary), stored
+// inline so tracking a segment does not allocate; pathological
+// scatter-gather shapes spill to extra.
 type txSeg struct {
-	seq     uint32
-	length  int // payload bytes (SYN/FIN consume sequence space separately)
-	fin     bool
-	payload [][]byte
-	sentAt  int64
-	rexmit  bool
+	seq    uint32
+	length int // payload bytes (SYN/FIN consume sequence space separately)
+	fin    bool
+	frag0  []byte
+	frag1  []byte
+	extra  [][]byte
+	sentAt int64
+	rexmit bool
+}
+
+// setPayload captures the fragment references of one assembled segment.
+func (ts *txSeg) setPayload(sg [][]byte) {
+	switch len(sg) {
+	case 0:
+	case 1:
+		ts.frag0 = sg[0]
+	case 2:
+		ts.frag0, ts.frag1 = sg[0], sg[1]
+	default:
+		ts.frag0, ts.frag1 = sg[0], sg[1]
+		ts.extra = append([][]byte(nil), sg[2:]...)
+	}
+}
+
+// appendPayload appends the segment's fragment references to sg.
+func (ts *txSeg) appendPayload(sg [][]byte) [][]byte {
+	if ts.frag0 != nil {
+		sg = append(sg, ts.frag0)
+	}
+	if ts.frag1 != nil {
+		sg = append(sg, ts.frag1)
+	}
+	return append(sg, ts.extra...)
 }
 
 // rxSeg is an out-of-order segment held for reassembly.
@@ -290,14 +341,19 @@ type Conn struct {
 	// Handle is assigned by the OS layer (kernel-level flow identifier).
 	Handle uint64
 
-	// Send state.
-	iss        uint32
-	sndUna     uint32
-	sndNxt     uint32
-	sndWnd     uint32 // peer-advertised, scaled
-	peerWShift uint8
-	retransQ   []txSeg
-	finQueued  bool
+	// Send state. The retransmission queue is a head-indexed ring over
+	// one backing array: the cumulative-ACK trim advances retransHead
+	// (zeroing dropped segments so their payload references die) and the
+	// backing resets to the front whenever the queue drains, so steady
+	// request-response traffic recycles the same storage.
+	iss         uint32
+	sndUna      uint32
+	sndNxt      uint32
+	sndWnd      uint32 // peer-advertised, scaled
+	peerWShift  uint8
+	retransQ    []txSeg
+	retransHead int
+	finQueued   bool
 
 	// Congestion control.
 	cwnd     uint32
@@ -319,10 +375,15 @@ type Conn struct {
 	reasmBytes int
 	finRcvd    bool
 
-	// Timers.
+	// Timers. The callbacks are bound once at connection setup: a method
+	// value like c.onRTO allocates a closure at each use, and the RTO
+	// re-arms once per transmitted segment.
 	rtoTimer *timerwheel.Timer
 	twTimer  *timerwheel.Timer
 	daTimer  *timerwheel.Timer
+	onRTOFn  func()
+	onTWFn   func()
+	onDAFn   func()
 	daSegs   int // in-order segments since last ACK sent
 
 	needAck  bool
@@ -347,6 +408,9 @@ func (c *Conn) mss() int { return c.stack.cfg.MSS }
 
 // flight returns bytes in flight.
 func (c *Conn) flight() uint32 { return c.sndNxt - c.sndUna }
+
+// retransLen returns the number of tracked unacknowledged segments.
+func (c *Conn) retransLen() int { return len(c.retransQ) - c.retransHead }
 
 // usableWindow returns how many more payload bytes the windows permit.
 func (c *Conn) usableWindow() int {
@@ -432,6 +496,9 @@ func (s *Stack) newConn(key wire.FlowKey) *Conn {
 	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss
+	c.onRTOFn = c.onRTO
+	c.onTWFn = c.onTimeWait
+	c.onDAFn = c.onDelAck
 	return c
 }
 
@@ -605,28 +672,31 @@ func (c *Conn) processAck(hdr *wire.TCPHeader) {
 		c.sndUna = ack
 		c.dupAcks = 0
 		c.rexmitCount = 0
-		c.ackRetransQ(ack)
+		released := c.ackRetransQ(ack)
 		c.updateRTT(ack)
 		c.growCwnd(uint32(acked))
-		if len(c.retransQ) == 0 {
+		if c.retransLen() == 0 {
 			c.cancelRTO()
 		} else {
 			c.armRTO()
 		}
 		// sent event condition: bytes acked and/or window growth.
 		if acked > 0 || c.usableWindow() > prevUsable {
-			s.cfg.Events.Sent(c, acked)
+			s.cfg.Events.Sent(c, acked, released)
 		}
 		c.maybeFinish(ack)
 	}
 }
 
-// ackRetransQ drops fully acknowledged segments and releases zero-copy
-// payload references.
-func (c *Conn) ackRetransQ(ack uint32) {
-	i := 0
-	for ; i < len(c.retransQ); i++ {
-		ts := &c.retransQ[i]
+// ackRetransQ drops fully acknowledged segments, zeroing their entries
+// so the zero-copy payload references die with them, and returns the
+// payload bytes released — the count the sent event condition carries
+// so the sender's arena can reclaim (tx_sent). The trim advances the
+// ring head; the backing array resets once the queue drains.
+func (c *Conn) ackRetransQ(ack uint32) int {
+	released := 0
+	for c.retransHead < len(c.retransQ) {
+		ts := &c.retransQ[c.retransHead]
 		end := ts.seq + uint32(ts.length)
 		if ts.fin {
 			end++
@@ -634,10 +704,25 @@ func (c *Conn) ackRetransQ(ack uint32) {
 		if seqGT(end, ack) {
 			break
 		}
+		released += ts.length
+		*ts = txSeg{}
+		c.retransHead++
 	}
-	if i > 0 {
-		c.retransQ = c.retransQ[i:]
+	if c.retransHead == len(c.retransQ) {
+		c.retransQ = c.retransQ[:0]
+		c.retransHead = 0
+	} else if c.retransHead >= 32 && c.retransHead*2 >= len(c.retransQ) {
+		// A connection that always keeps a segment in flight never hits
+		// the empty reset; compact the live suffix to the front so the
+		// dead prefix cannot grow with connection lifetime.
+		n := copy(c.retransQ, c.retransQ[c.retransHead:])
+		for i := n; i < len(c.retransQ); i++ {
+			c.retransQ[i] = txSeg{} // drop duplicated payload references
+		}
+		c.retransQ = c.retransQ[:n]
+		c.retransHead = 0
 	}
+	return released
 }
 
 // updateRTT takes an RTT sample if the timed segment was acked and was
@@ -689,7 +774,7 @@ func (c *Conn) growCwnd(acked uint32) {
 
 // fastRetransmit reacts to triple duplicate ACKs.
 func (c *Conn) fastRetransmit() {
-	if len(c.retransQ) == 0 {
+	if c.retransLen() == 0 {
 		return
 	}
 	c.stack.FastRetransmits++
@@ -701,7 +786,7 @@ func (c *Conn) fastRetransmit() {
 	}
 	c.ssthresh = half
 	c.cwnd = c.ssthresh
-	c.resend(&c.retransQ[0])
+	c.resend(&c.retransQ[c.retransHead])
 	c.armRTO()
 }
 
@@ -754,8 +839,9 @@ func (c *Conn) processData(seq uint32, payload []byte, buf *mem.Mbuf) {
 func (c *Conn) sendAckNow() {
 	c.cancelDelAck()
 	c.needAck = false
-	hdr := c.makeHeader(c.sndNxt, wire.TCPAck)
-	c.stack.emit(c, &hdr, nil)
+	hdr := &c.stack.hdr
+	*hdr = c.makeHeader(c.sndNxt, wire.TCPAck)
+	c.stack.emit(c, hdr, nil)
 }
 
 // deliver hands in-order bytes to the application (zero-copy) and
@@ -848,7 +934,7 @@ func (c *Conn) processFin(finSeq uint32) {
 
 // maybeFinish advances closing states once our FIN is acked.
 func (c *Conn) maybeFinish(ack uint32) {
-	finAcked := c.finQueued && len(c.retransQ) == 0 && ack == c.sndNxt
+	finAcked := c.finQueued && c.retransLen() == 0 && ack == c.sndNxt
 	switch c.state {
 	case StateFinWait1:
 		if finAcked {
@@ -873,9 +959,13 @@ func (c *Conn) enterTimeWait() {
 	c.state = StateTimeWait
 	c.cancelRTO()
 	w := c.stack.cfg.Wheel
-	c.twTimer = w.Add(c.stack.cfg.Now()+int64(c.stack.cfg.TimeWait), func() {
-		c.destroy(ReasonClosed)
-	})
+	c.twTimer = w.Add(c.stack.cfg.Now()+int64(c.stack.cfg.TimeWait), c.onTWFn)
+}
+
+// onTimeWait ends the 2MSL quiet period.
+func (c *Conn) onTimeWait() {
+	c.twTimer = nil
+	c.destroy(ReasonClosed)
 }
 
 // Sendv transmits a scatter-gather array. It accepts and immediately
@@ -893,15 +983,17 @@ func (c *Conn) Sendv(bufs [][]byte) int {
 	}
 	total := 0
 	mss := c.mss()
-	// Assemble MSS-sized segments from the scatter-gather array.
-	var segBufs [][]byte
+	// Assemble MSS-sized segments from the scatter-gather array in the
+	// stack's reusable scratch; sendData moves the fragment references
+	// into the tracked segment, so the scratch recycles per segment.
+	seg := c.stack.sg[:0]
 	segLen := 0
 	flush := func() {
 		if segLen == 0 {
 			return
 		}
-		c.sendData(segBufs, segLen)
-		segBufs = nil
+		c.sendData(seg, segLen)
+		seg = seg[:0]
 		segLen = 0
 	}
 	for _, b := range bufs {
@@ -913,7 +1005,7 @@ func (c *Conn) Sendv(bufs [][]byte) int {
 			if take > budget {
 				take = budget
 			}
-			segBufs = append(segBufs, b[:take])
+			seg = append(seg, b[:take])
 			segLen += take
 			total += take
 			budget -= take
@@ -927,6 +1019,7 @@ func (c *Conn) Sendv(bufs [][]byte) int {
 		}
 	}
 	flush()
+	c.stack.sg = seg[:0]
 	return total
 }
 
@@ -934,20 +1027,24 @@ func (c *Conn) Sendv(bufs [][]byte) int {
 func (c *Conn) Send(b []byte) int { return c.Sendv([][]byte{b}) }
 
 // sendData emits one data segment and tracks it for retransmission.
+// payload is caller scratch: the fragment references are captured into
+// the tracked segment, which owns them until the cumulative ACK passes.
 func (c *Conn) sendData(payload [][]byte, length int) {
 	seq := c.sndNxt
 	c.sndNxt += uint32(length)
-	ts := txSeg{seq: seq, length: length, payload: payload, sentAt: c.stack.cfg.Now()}
+	ts := txSeg{seq: seq, length: length, sentAt: c.stack.cfg.Now()}
+	ts.setPayload(payload)
 	c.retransQ = append(c.retransQ, ts)
 	if !c.rttPending {
 		c.rttPending = true
 		c.rttSeq = c.sndNxt
 		c.rttStart = ts.sentAt
 	}
-	hdr := c.makeHeader(seq, wire.TCPAck|wire.TCPPsh)
+	hdr := &c.stack.hdr
+	*hdr = c.makeHeader(seq, wire.TCPAck|wire.TCPPsh)
 	c.needAck = false // piggybacked
 	c.cancelDelAck()
-	c.stack.emit(c, &hdr, payload)
+	c.stack.emit(c, hdr, payload)
 	c.armRTO()
 }
 
@@ -1083,12 +1180,15 @@ func (c *Conn) scheduleDataAck() {
 		return
 	}
 	if c.daTimer == nil {
-		c.daTimer = c.stack.cfg.Wheel.Add(c.stack.cfg.Now()+int64(da), func() {
-			c.daTimer = nil
-			if c.state != StateClosed {
-				c.scheduleAck()
-			}
-		})
+		c.daTimer = c.stack.cfg.Wheel.Add(c.stack.cfg.Now()+int64(da), c.onDAFn)
+	}
+}
+
+// onDelAck fires the delayed-acknowledgment timeout.
+func (c *Conn) onDelAck() {
+	c.daTimer = nil
+	if c.state != StateClosed {
+		c.scheduleAck()
 	}
 }
 
@@ -1108,8 +1208,9 @@ func (s *Stack) Flush() {
 		if c.needAck && c.state != StateClosed {
 			c.needAck = false
 			c.daSegs = 0
-			hdr := c.makeHeader(c.sndNxt, wire.TCPAck)
-			s.emit(c, &hdr, nil)
+			hdr := &s.hdr
+			*hdr = c.makeHeader(c.sndNxt, wire.TCPAck)
+			s.emit(c, hdr, nil)
 		}
 	}
 	s.needsAck = s.needsAck[:0]
@@ -1175,7 +1276,7 @@ func (s *Stack) Migrate(c *Conn, dst *Stack) {
 	delete(s.conns, c.key)
 	c.stack = dst
 	dst.conns[c.key] = c
-	if c.rtoTimer == nil && c.state != StateTimeWait && len(c.retransQ) > 0 {
+	if c.rtoTimer == nil && c.state != StateTimeWait && c.retransLen() > 0 {
 		// Unacked data without a live timer (should not happen, but a
 		// lost RTO would hang the flow forever): re-arm defensively.
 		c.armRTO()
@@ -1219,7 +1320,7 @@ func (s *Stack) Conns() []*Conn {
 func (c *Conn) armRTO() {
 	c.cancelRTO()
 	deadline := c.stack.cfg.Now() + int64(c.rto)
-	c.rtoTimer = c.stack.cfg.Wheel.Add(deadline, c.onRTO)
+	c.rtoTimer = c.stack.cfg.Wheel.Add(deadline, c.onRTOFn)
 }
 
 func (c *Conn) cancelRTO() {
@@ -1260,14 +1361,16 @@ func (c *Conn) onRTO() {
 	case StateSynRcvd:
 		c.sendFlags(wire.TCPSyn|wire.TCPAck, c.iss, c.rcvNxt, true)
 	default:
-		if len(c.retransQ) > 0 {
-			c.resend(&c.retransQ[0])
+		if c.retransLen() > 0 {
+			c.resend(&c.retransQ[c.retransHead])
 		}
 	}
 	c.armRTO()
 }
 
-// resend retransmits one tracked segment.
+// resend retransmits one tracked segment, assembling its fragment
+// references in the stack scratch (the bytes themselves are still the
+// original, immutable sender bytes — retransmission is zero-copy too).
 func (c *Conn) resend(ts *txSeg) {
 	ts.rexmit = true
 	c.rttPending = false // Karn's rule: no sample from retransmitted data
@@ -1277,8 +1380,11 @@ func (c *Conn) resend(ts *txSeg) {
 	} else if ts.length > 0 {
 		flags |= wire.TCPPsh
 	}
-	hdr := c.makeHeader(ts.seq, flags)
-	c.stack.emit(c, &hdr, ts.payload)
+	hdr := &c.stack.hdr
+	*hdr = c.makeHeader(ts.seq, flags)
+	sg := ts.appendPayload(c.stack.sg[:0])
+	c.stack.emit(c, hdr, sg)
+	c.stack.sg = sg[:0]
 }
 
 // destroy tears the connection down and reports the terminal event:
@@ -1305,7 +1411,10 @@ func (c *Conn) destroy(reason Reason) {
 		}
 	}
 	c.reasm = nil
+	// Drop the retransmission queue's payload references: after Dead the
+	// sender reclaims its arena wholesale.
 	c.retransQ = nil
+	c.retransHead = 0
 	delete(c.stack.conns, c.key)
 	if prev == StateSynSent {
 		c.stack.cfg.Events.Connected(c, false)

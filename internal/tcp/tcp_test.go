@@ -39,8 +39,12 @@ type side struct {
 	connected map[*Conn]bool
 	recvd     map[*Conn][]byte
 	sent      map[*Conn]int
+	released  map[*Conn]int
 	dead      map[*Conn]Reason
 	eof       map[*Conn]bool
+
+	// onRelease, when set, observes tx_sent release reports.
+	onRelease func(c *Conn, released int)
 }
 
 func (s *side) Knock(l *Listener, key wire.FlowKey) bool { return true }
@@ -49,7 +53,13 @@ func (s *side) Connected(c *Conn, ok bool)               { s.connected[c] = ok }
 func (s *side) Recv(c *Conn, buf *mem.Mbuf, data []byte) {
 	s.recvd[c] = append(s.recvd[c], data...)
 }
-func (s *side) Sent(c *Conn, acked int) { s.sent[c] += acked }
+func (s *side) Sent(c *Conn, acked, released int) {
+	s.sent[c] += acked
+	s.released[c] += released
+	if s.onRelease != nil && released > 0 {
+		s.onRelease(c, released)
+	}
+}
 func (s *side) RemoteClosed(c *Conn)    { s.eof[c] = true }
 func (s *side) Dead(c *Conn, reason Reason) {
 	s.dead[c] = reason
@@ -63,6 +73,7 @@ func newTestNet(t *testing.T, cfgMod func(*Config)) *testNet {
 			connected: map[*Conn]bool{},
 			recvd:     map[*Conn][]byte{},
 			sent:      map[*Conn]int{},
+			released:  map[*Conn]int{},
 			dead:      map[*Conn]Reason{},
 			eof:       map[*Conn]bool{},
 		}

@@ -27,8 +27,12 @@ const (
 	DefaultTick = 16 * time.Microsecond
 )
 
-// A Timer is a pending timeout. Timers are intrusive list nodes so that
-// add and cancel are allocation-free.
+// A Timer is a pending timeout. Timers are intrusive list nodes, and
+// fired or cancelled timers return to a per-wheel free list, so the
+// add/fire and add/cancel cycles are allocation-free — the
+// per-retransmission-arming pattern of the TCP hot path. A timer that
+// has fired or been cancelled belongs to the wheel again and must not
+// be used by the caller.
 type Timer struct {
 	deadline   int64 // ns
 	fn         func()
@@ -37,6 +41,10 @@ type Timer struct {
 	// wheel identifies the owning wheel while pending, so stale min-heap
 	// entries from a Transfer are recognized as dead.
 	wheel *Wheel
+	// gen increments each time the timer dies (fire/cancel), so min-heap
+	// entries from a previous life are recognized as dead even after the
+	// timer is reused.
+	gen uint32
 }
 
 // Deadline returns the absolute deadline in nanoseconds.
@@ -72,9 +80,11 @@ func unlink(t *Timer) {
 }
 
 // minEntry is one lazy min-heap record: the deadline by value (so heap
-// sifts never chase the timer pointer) plus the timer it belonged to.
+// sifts never chase the timer pointer) plus the timer — and its
+// generation at record time — it belonged to.
 type minEntry struct {
 	deadline int64
+	gen      uint32
 	t        *Timer
 }
 
@@ -88,8 +98,12 @@ type Wheel struct {
 
 	// minHeap tracks pending deadlines with lazy deletion: every Add or
 	// Transfer-in pushes an entry; entries whose timer has fired, been
-	// cancelled, or moved wheels are dropped when they surface at the top.
+	// cancelled, moved wheels, or been reused are dropped when they
+	// surface at the top.
 	minHeap []minEntry
+
+	// free recycles dead timers (allocation-free add/cancel churn).
+	free []*Timer
 
 	// Stats for the cancel-dominated workload claim.
 	Added     uint64
@@ -132,7 +146,7 @@ func (w *Wheel) Now() int64 { return w.curTick * w.tick }
 func (w *Wheel) heapPush(t *Timer) {
 	h := w.minHeap
 	i := len(h)
-	h = append(h, minEntry{deadline: t.deadline, t: t})
+	h = append(h, minEntry{deadline: t.deadline, gen: t.gen, t: t})
 	for i > 0 {
 		parent := (i - 1) >> 1
 		if h[parent].deadline <= t.deadline {
@@ -141,7 +155,7 @@ func (w *Wheel) heapPush(t *Timer) {
 		h[i] = h[parent]
 		i = parent
 	}
-	h[i] = minEntry{deadline: t.deadline, t: t}
+	h[i] = minEntry{deadline: t.deadline, gen: t.gen, t: t}
 	w.minHeap = h
 }
 
@@ -175,14 +189,32 @@ func (w *Wheel) heapPop() {
 
 // Add schedules fn to fire at absolute deadline ns. Deadlines at or before
 // the current tick fire on the next Advance. The returned timer may be
-// cancelled until it fires.
+// cancelled until it fires; once fired or cancelled it belongs to the
+// wheel again and must not be touched.
 func (w *Wheel) Add(deadline int64, fn func()) *Timer {
-	t := &Timer{deadline: deadline, fn: fn}
+	var t *Timer
+	if n := len(w.free); n > 0 {
+		t = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+		t.deadline = deadline
+		t.fn = fn
+	} else {
+		t = &Timer{deadline: deadline, fn: fn}
+	}
 	w.place(t)
 	w.heapPush(t)
 	w.count++
 	w.Added++
 	return t
+}
+
+// recycle retires a dead timer into the free list, bumping its
+// generation so stale min-heap entries referencing this life die.
+func (w *Wheel) recycle(t *Timer) {
+	t.gen++
+	t.fn = nil
+	w.free = append(w.free, t)
 }
 
 // place inserts t into the correct level/slot for its deadline.
@@ -205,7 +237,8 @@ func (w *Wheel) place(t *Timer) {
 
 // Cancel removes t from the wheel; it reports whether the timer was still
 // pending. Cancelling nil or an expired timer is a no-op. The min-heap
-// entry is left behind and skimmed lazily.
+// entry is left behind and skimmed lazily; the timer itself returns to
+// the free list and must not be used again.
 func (w *Wheel) Cancel(t *Timer) bool {
 	if t == nil || t.slot == nil {
 		return false
@@ -213,6 +246,7 @@ func (w *Wheel) Cancel(t *Timer) bool {
 	unlink(t)
 	w.count--
 	w.Cancelled++
+	w.recycle(t)
 	return true
 }
 
@@ -271,14 +305,17 @@ func (w *Wheel) cascade(s *slotList) {
 }
 
 // fireSlot runs all timers in the current level-0 slot whose deadline is
-// due (all of them, by construction).
+// due (all of them, by construction). The timer is recycled before its
+// callback runs, so a callback that re-arms reuses it immediately.
 func (w *Wheel) fireSlot(s *slotList) {
 	for !s.empty() {
 		t := s.head.next
 		unlink(t)
 		w.count--
 		w.Fired++
-		t.fn()
+		fn := t.fn
+		w.recycle(t)
+		fn()
 	}
 }
 
@@ -289,14 +326,45 @@ func (w *Wheel) fireSlot(s *slotList) {
 // O(1) amortized.
 func (w *Wheel) NextDeadline() (int64, bool) {
 	if w.count == 0 {
+		// Nothing pending: every heap entry is stale. Truncate instead of
+		// letting dead entries pile up across add/cancel churn (an
+		// RTO-per-message workload adds and cancels without the heap top
+		// ever surfacing otherwise).
+		if len(w.minHeap) > 0 {
+			for i := range w.minHeap {
+				w.minHeap[i] = minEntry{}
+			}
+			w.minHeap = w.minHeap[:0]
+		}
 		return 0, false
 	}
 	for len(w.minHeap) > 0 {
 		top := w.minHeap[0]
-		if top.t.slot != nil && top.t.wheel == w {
+		if top.t.slot != nil && top.t.wheel == w && top.t.gen == top.gen {
 			return top.deadline, true
 		}
 		w.heapPop()
 	}
 	return 0, false
+}
+
+// NextFireTime returns the earliest virtual instant at which a pending
+// timer can actually fire, and whether one is pending. It differs from
+// NextDeadline by accounting for tick quantization: a deadline at or
+// before the current tick cannot fire until the wheel's next tick
+// boundary, so — provided the wheel's clock is current — the returned
+// time is always strictly in the future. OS models arm their idle
+// wakeups from this, never from the raw deadline: arming at a deadline
+// inside the current tick re-wakes at an instant where Advance cannot
+// make progress, which spins an idle core at one virtual time (the
+// timer-wake livelock family).
+func (w *Wheel) NextFireTime() (int64, bool) {
+	nd, ok := w.NextDeadline()
+	if !ok {
+		return 0, false
+	}
+	if next := w.NextTickTime(); nd < next {
+		return next, true
+	}
+	return nd, true
 }

@@ -219,3 +219,89 @@ func TestTransferPastDeadline(t *testing.T) {
 		t.Fatal("past-deadline timer lost in transfer")
 	}
 }
+
+// TestNextFireTimeNeverInCurrentTick: the fire-time query quantizes
+// deadlines at or before the current tick up to the next tick boundary,
+// so an OS model arming an idle wakeup from it can never spin at one
+// virtual instant (the timer-wake livelock family).
+func TestNextFireTimeNeverInCurrentTick(t *testing.T) {
+	w := New(DefaultTick, 0)
+	tick := int64(DefaultTick)
+	w.Advance(10 * tick)
+
+	// Deadline inside the current tick: fire time is the next boundary.
+	tm := w.Add(10*tick+tick/2, func() {})
+	ft, ok := w.NextFireTime()
+	if !ok {
+		t.Fatal("no fire time with a pending timer")
+	}
+	if ft != 11*tick {
+		t.Fatalf("fire time = %d, want next boundary %d", ft, 11*tick)
+	}
+	if ft <= w.Now() {
+		t.Fatalf("fire time %d not after wheel now %d", ft, w.Now())
+	}
+	// And the timer really does fire when Advance crosses that boundary.
+	fired := false
+	w.Cancel(tm)
+	w.Add(10*tick+tick/2, func() { fired = true })
+	w.Advance(11 * tick)
+	if !fired {
+		t.Fatal("timer did not fire at the reported fire time")
+	}
+
+	// A deadline beyond the current tick is reported as-is.
+	w.Add(20*tick+5, func() {})
+	ft, _ = w.NextFireTime()
+	if ft != 20*tick+5 {
+		t.Fatalf("future deadline fire time = %d, want %d", ft, 20*tick+5)
+	}
+
+	// Empty wheel: no fire time.
+	w2 := New(DefaultTick, 0)
+	if _, ok := w2.NextFireTime(); ok {
+		t.Fatal("fire time reported on an empty wheel")
+	}
+}
+
+// TestTimerReuseGenerations: recycled timers must not resurrect stale
+// min-heap entries — a cancelled timer's old deadline may not surface
+// as NextDeadline after the timer object is reused with a later one.
+func TestTimerReuseGenerations(t *testing.T) {
+	w := New(DefaultTick, 0)
+	early := w.Add(100_000, func() {})
+	w.Cancel(early)
+	// Reuses the recycled object with a later deadline.
+	late := w.Add(900_000, func() {})
+	if late != early {
+		t.Skip("free list did not reuse the timer object")
+	}
+	nd, ok := w.NextDeadline()
+	if !ok || nd != 900_000 {
+		t.Fatalf("NextDeadline = %d,%v; stale entry resurrected (want 900000)", nd, ok)
+	}
+}
+
+// TestZeroAllocAddCancelChurn: the RTO pattern — add, cancel, query —
+// must not allocate once the free list and heap are warm, and the heap
+// must not grow without bound when queries happen while idle.
+func TestZeroAllocAddCancelChurn(t *testing.T) {
+	w := New(DefaultTick, 0)
+	now := int64(0)
+	// Warm.
+	tm := w.Add(now+1_000_000, func() {})
+	w.Cancel(tm)
+	w.NextDeadline()
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += 50_000
+		tm := w.Add(now+1_000_000, func() {})
+		w.Cancel(tm)
+		w.NextDeadline()
+	})
+	if allocs != 0 {
+		t.Fatalf("add/cancel churn allocates %.2f per op, want 0", allocs)
+	}
+	if len(w.minHeap) != 0 {
+		t.Fatalf("idle wheel retains %d stale heap entries", len(w.minHeap))
+	}
+}
