@@ -126,6 +126,29 @@ func BenchmarkAblations(b *testing.B) {
 	b.Run("batch=64", func(b *testing.B) { run(b, 64) })
 }
 
+// BenchmarkIncastRTOSweep regenerates the incast goodput-collapse
+// figure (N-to-1 synchronized bursts, MinRTO swept 200µs → 16µs).
+func BenchmarkIncastRTOSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.Incast(benchScale)
+		if v, ok := r.Get("MinRTO=200µs", 16); ok {
+			b.ReportMetric(v, "RTO200us_16senders_Gbps")
+		}
+		if v, ok := r.Get("MinRTO=16µs", 16); ok {
+			b.ReportMetric(v, "RTO16us_16senders_Gbps")
+		}
+	}
+}
+
+// BenchmarkChaosFleet regenerates the randomized-fault-schedule echo
+// experiment with its end-to-end invariant checks.
+func BenchmarkChaosFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.Chaos(benchScale)
+		reportPeak(b, r, "msgs/s", "peak_phase_msgs")
+	}
+}
+
 func reportPeak(b *testing.B, r *Result, label, metric string) {
 	b.Helper()
 	if v := r.Max(label); v > 0 {

@@ -65,6 +65,70 @@ func (s *server) OnSent(c app.Conn, n int) {}
 func (s *server) OnEOF(c app.Conn)         { c.Close() }
 func (s *server) OnClosed(c app.Conn)      {}
 
+// VerifyingServerFactory returns an echo server that echoes the exact
+// bytes it receives (the plain server replies with zeros of the right
+// length). Clients running with Verify on check the response stream
+// byte-for-byte against what they sent, so any duplicate, reordered or
+// corrupted delivery that leaks through TCP under fault injection is
+// caught at the application. msgSize only drives CPU charging.
+func VerifyingServerFactory(port uint16, msgSize int) app.Factory {
+	return func(env app.Env, thread, threads int) app.Handler {
+		s := &vserver{env: env, size: msgSize}
+		if err := env.Listen(port); err != nil {
+			panic(err)
+		}
+		return s
+	}
+}
+
+type vserver struct {
+	env  app.Env
+	size int
+}
+
+// vconn buffers bytes received but not yet accepted by Send: the echo
+// must preserve stream order even when the send budget momentarily
+// rejects part of a reply.
+type vconn struct {
+	pend []byte
+	got  int // bytes toward the current message (CPU charging only)
+}
+
+func (s *vserver) OnAccept(c app.Conn) { c.SetCookie(&vconn{}) }
+
+func (s *vserver) OnConnected(c app.Conn, ok bool) {}
+
+func (s *vserver) OnRecv(c app.Conn, data []byte) {
+	st := c.Cookie().(*vconn)
+	s.env.Charge(time.Duration(float64(len(data)) * perByteCost))
+	st.got += len(data)
+	for st.got >= s.size {
+		st.got -= s.size
+		s.env.Charge(serverMsgCost)
+	}
+	// data is only valid during the callback: push what Send accepts,
+	// copy the remainder.
+	if len(st.pend) == 0 {
+		n := c.Send(data)
+		data = data[n:]
+	}
+	if len(data) > 0 {
+		st.pend = append(st.pend, data...)
+	}
+}
+
+func (s *vserver) OnSent(c app.Conn, n int) {
+	st, _ := c.Cookie().(*vconn)
+	if st == nil || len(st.pend) == 0 {
+		return
+	}
+	sent := c.Send(st.pend)
+	st.pend = st.pend[:copy(st.pend, st.pend[sent:])]
+}
+
+func (s *vserver) OnEOF(c app.Conn)    { c.Close() }
+func (s *vserver) OnClosed(c app.Conn) {}
+
 // Metrics aggregates client-side results. One instance is shared by all
 // client threads of an experiment (host Go memory, not simulated state).
 type Metrics struct {
@@ -75,6 +139,13 @@ type Metrics struct {
 	// sent event condition (tx_sent) — the zero-copy reclamation signal;
 	// experiments can assert it tracks the bytes offered.
 	TxAcked stats.Counter
+	// VerifyErrors counts response bytes that differed from the request
+	// pattern (Verify mode): any duplicate, reordered or corrupted
+	// delivery leaking through TCP shows up here.
+	VerifyErrors stats.Counter
+	// SumMismatches counts rounds whose whole-transfer FNV checksum of
+	// received bytes differed from the sent stream's.
+	SumMismatches stats.Counter
 	// Latency is per-RPC round-trip time.
 	Latency *stats.Histogram
 	// Running gates reconnects: when false, clients wind down.
@@ -119,6 +190,14 @@ type ClientConfig struct {
 	// retransmission waves.
 	RampBatch int
 	RampGap   time.Duration
+
+	// Verify sends a deterministic per-round byte pattern instead of
+	// zeros and checks the response stream byte-for-byte (pair with
+	// VerifyingServerFactory). Chaos/fault experiments use this as the
+	// end-to-end integrity invariant. VerifySeed diversifies patterns
+	// across client threads.
+	Verify     bool
+	VerifySeed uint64
 }
 
 // clientConn tracks one RPC stream.
@@ -127,6 +206,40 @@ type clientConn struct {
 	got    int
 	t0     int64
 	busy   bool
+
+	// Verify mode: pat seeds this connection's request pattern, buf
+	// holds the current round's request bytes, unsent its not-yet-
+	// accepted tail, txSum/rxSum are running FNV-1a checksums of the
+	// whole sent/received streams.
+	pat          uint64
+	buf          []byte
+	unsent       []byte
+	txSum, rxSum uint64
+}
+
+// fnvOffset/fnvPrime are the FNV-1a constants for the whole-transfer
+// stream checksums.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvAdd(sum uint64, data []byte) uint64 {
+	for _, b := range data {
+		sum = (sum ^ uint64(b)) * fnvPrime
+	}
+	return sum
+}
+
+// fillPattern writes the deterministic request payload for one round.
+func fillPattern(buf []byte, pat uint64, round int) {
+	x := pat + uint64(round)*0x9e3779b97f4a7c15
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = byte(x)
+	}
 }
 
 // connectBatch/connectBatchGap pace connection ramp-up for large
@@ -174,6 +287,9 @@ type client struct {
 	env app.Env
 	cfg ClientConfig
 
+	// connSeq numbers connections for verify-mode pattern seeding.
+	connSeq uint64
+
 	// Rotation mode state.
 	ring     []app.Conn
 	cursor   int
@@ -195,6 +311,12 @@ func (cl *client) OnConnected(c app.Conn, ok bool) {
 		return
 	}
 	st := &clientConn{}
+	if cl.cfg.Verify {
+		cl.connSeq++
+		st.pat = (cl.cfg.VerifySeed + cl.connSeq) * 0xbf58476d1ce4e5b9
+		st.buf = make([]byte, cl.cfg.MsgSize)
+		st.txSum, st.rxSum = fnvOffset, fnvOffset
+	}
 	c.SetCookie(st)
 	if cl.cfg.Outstanding > 0 {
 		cl.ring = append(cl.ring, c)
@@ -227,6 +349,15 @@ func (cl *client) sendReq(c app.Conn, st *clientConn) {
 	st.got = 0
 	st.busy = true
 	cl.env.Charge(serverMsgCost)
+	if st.buf != nil {
+		fillPattern(st.buf, st.pat, st.rounds)
+		n := c.Send(st.buf)
+		st.txSum = fnvAdd(st.txSum, st.buf[:n])
+		// A short accept leaves a tail to push as OnSent reopens the
+		// send budget.
+		st.unsent = st.buf[n:]
+		return
+	}
 	c.Send(zeros(cl.cfg.MsgSize))
 }
 
@@ -234,6 +365,21 @@ func (cl *client) OnRecv(c app.Conn, data []byte) {
 	st, _ := c.Cookie().(*clientConn)
 	if st == nil {
 		return
+	}
+	if st.buf != nil {
+		// Integrity invariant: the response stream must equal the
+		// request stream byte-for-byte, at the right positions.
+		m := cl.cfg.Metrics
+		if st.got+len(data) > len(st.buf) {
+			m.VerifyErrors.Add(uint64(st.got + len(data) - len(st.buf)))
+			data = data[:len(st.buf)-st.got]
+		}
+		for i, b := range data {
+			if b != st.buf[st.got+i] {
+				m.VerifyErrors.Inc()
+			}
+		}
+		st.rxSum = fnvAdd(st.rxSum, data)
 	}
 	st.got += len(data)
 	cl.env.Charge(time.Duration(float64(len(data)) * perByteCost))
@@ -243,6 +389,11 @@ func (cl *client) OnRecv(c app.Conn, data []byte) {
 	m := cl.cfg.Metrics
 	m.Msgs.Inc()
 	m.Latency.Record(time.Duration(cl.env.Now() - st.t0))
+	if st.buf != nil && st.rxSum != st.txSum {
+		// Whole-transfer checksum over everything this connection ever
+		// sent vs received: equal iff the echoed stream is intact.
+		m.SumMismatches.Inc()
+	}
 	st.busy = false
 	if cl.cfg.Outstanding > 0 {
 		// Rotation mode: move the in-flight slot to the next conn.
@@ -267,8 +418,16 @@ func (cl *client) OnRecv(c app.Conn, data []byte) {
 }
 
 // OnSent consumes the tx_sent event condition: n request bytes were
-// acknowledged by the server and their transmit buffers reclaimed.
-func (cl *client) OnSent(c app.Conn, n int) { cl.cfg.Metrics.TxAcked.Add(uint64(n)) }
+// acknowledged by the server and their transmit buffers reclaimed. In
+// verify mode it also pushes any request tail a short accept left over.
+func (cl *client) OnSent(c app.Conn, n int) {
+	cl.cfg.Metrics.TxAcked.Add(uint64(n))
+	if st, _ := c.Cookie().(*clientConn); st != nil && len(st.unsent) > 0 {
+		k := c.Send(st.unsent)
+		st.txSum = fnvAdd(st.txSum, st.unsent[:k])
+		st.unsent = st.unsent[k:]
+	}
+}
 func (cl *client) OnEOF(c app.Conn)         { c.Close() }
 
 func (cl *client) OnClosed(c app.Conn) {

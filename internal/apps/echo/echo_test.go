@@ -2,6 +2,42 @@ package echo
 
 import "testing"
 
+func TestFillPatternDeterministic(t *testing.T) {
+	a, b := make([]byte, 256), make([]byte, 256)
+	fillPattern(a, 42, 3)
+	fillPattern(b, 42, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same (pat, round) produced different bytes")
+		}
+	}
+	fillPattern(b, 42, 4)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different rounds produced identical patterns")
+	}
+}
+
+func TestFnvStreamSumPositionSensitive(t *testing.T) {
+	// The whole-transfer checksum must catch reordering, not just byte
+	// histograms: FNV-1a over a stream is position-sensitive.
+	x := fnvAdd(fnvAdd(uint64(fnvOffset), []byte("ab")), []byte("cd"))
+	y := fnvAdd(fnvAdd(uint64(fnvOffset), []byte("cd")), []byte("ab"))
+	if x == y {
+		t.Fatal("stream checksum insensitive to segment order")
+	}
+	z := fnvAdd(uint64(fnvOffset), []byte("abcd"))
+	if x != z {
+		t.Fatal("chunking changed the stream checksum")
+	}
+}
+
 func TestZerosReuse(t *testing.T) {
 	a := zeros(64)
 	b := zeros(128)

@@ -60,18 +60,41 @@ type Frame struct {
 // Release on an unpooled frame is a no-op.
 func NewFrame(data []byte) *Frame { return &Frame{Data: data} }
 
+// Detach permanently removes a pooled frame from its pool, balancing the
+// in-use accounting. Broadcast replication aliases the frame's bytes in
+// unpooled replicas, so the buffer can never safely be recycled.
+func (f *Frame) Detach() {
+	if f.pool != nil {
+		f.pool.inUse--
+		f.pool = nil
+	}
+}
+
 // Release returns a pooled frame's buffer to its originating pool. It must
 // be called exactly once by the frame's final consumer; double release
 // panics (the moral equivalent of a double free).
 func (f *Frame) Release() {
-	if f == nil || f.pool == nil {
+	if f == nil {
 		return
 	}
+	// The double-release check precedes the pool check so oversized
+	// frames (detached from the pool on their first release) still trip
+	// the panic; unpooled NewFrame frames never set free and keep their
+	// documented no-op behaviour.
 	if f.free {
 		panic("fabric: frame double release")
 	}
+	if f.pool == nil {
+		return
+	}
 	f.free = true
 	f.dst, f.via = nil, nil
+	f.pool.inUse--
+	if f.buf == nil {
+		// Oversized one-off: accounted, but not recycled.
+		f.pool = nil
+		return
+	}
 	f.pool.free = append(f.pool.free, f)
 }
 
@@ -79,12 +102,19 @@ func (f *Frame) Release() {
 // instance). All simulation runs on one goroutine, so returning a frame
 // from the receiving host's context is safe.
 type FramePool struct {
-	free []*Frame
+	free  []*Frame
+	inUse int
 
 	// Stats: Gets counts allocations served, News counts fresh buffers
 	// (pool misses and oversized frames).
 	Gets, News uint64
 }
+
+// InUse reports frames allocated from the pool and not yet released —
+// the frame-conservation invariant the fault-injection tests assert:
+// whatever drops, duplicates or delays frames, a quiesced cluster must
+// drain every pool back to zero.
+func (p *FramePool) InUse() int { return p.inUse }
 
 // NewFramePool returns an empty pool.
 func NewFramePool() *FramePool { return &FramePool{} }
@@ -94,6 +124,7 @@ func NewFramePool() *FramePool { return &FramePool{} }
 // repository marshals headers and payload over the entire length).
 func (p *FramePool) Get(n int) *Frame {
 	p.Gets++
+	p.inUse++
 	if n > FrameCap {
 		p.News++
 		return &Frame{Data: make([]byte, n), pool: p}
@@ -128,12 +159,38 @@ type Port struct {
 
 	busyUntil sim.Time // transmit serialization
 
-	// TxFrames/TxBytes count transmitted traffic.
+	// txBuffer, when positive, bounds the transmit queue in bytes: a
+	// shallow-buffer egress (the switch ASIC's per-port share) that
+	// tail-drops under incast fan-in. Zero means unbounded (the
+	// default, matching the drop-free fabric of the figure benchmarks).
+	txBuffer int
+
+	// TxFrames/TxBytes count transmitted traffic; TxDropped counts
+	// frames tail-dropped by the bounded transmit buffer.
 	TxFrames, TxBytes uint64
+	TxDropped         uint64
 }
 
 // Attach sets the endpoint that receives frames arriving at this port.
 func (p *Port) Attach(ep Endpoint) { p.ep = ep }
+
+// Interpose wraps the port's currently attached endpoint — the hook the
+// fault-injection layer uses to interpose on frame delivery without the
+// port or its endpoint knowing. Must be called after Attach.
+func (p *Port) Interpose(wrap func(Endpoint) Endpoint) { p.ep = wrap(p.ep) }
+
+// SetTxBuffer bounds the port's transmit queue to n bytes of wire
+// occupancy (0 = unbounded). Frames arriving while the queue holds n or
+// more queued wire bytes are tail-dropped and released.
+func (p *Port) SetTxBuffer(n int) { p.txBuffer = n }
+
+// queuedBytes converts the pending serialization backlog to wire bytes.
+func (p *Port) queuedBytes(now sim.Time) int {
+	if p.busyUntil <= now {
+		return 0
+	}
+	return int(float64(p.busyUntil-now) / 1e9 * p.link.bps / 8)
+}
 
 // Peer returns the port at the other end of the link.
 func (p *Port) Peer() *Port { return &p.link.ports[1-p.side] }
@@ -157,6 +214,13 @@ func deliverFrame(a any) {
 func (p *Port) Send(f *Frame) {
 	l := p.link
 	now := l.eng.Now()
+	if p.txBuffer > 0 && p.queuedBytes(now)+wire.WireLen(len(f.Data)) > p.txBuffer {
+		// Shallow egress buffer full: tail drop at the switch port,
+		// exactly the incast failure mode (§5, 16 µs RTO discussion).
+		p.TxDropped++
+		f.Release()
+		return
+	}
 	start := now
 	if p.busyUntil > start {
 		start = p.busyUntil
@@ -286,7 +350,7 @@ func (s *Switch) forward(in int, f *Frame) {
 		// Broadcast (ARP): replicate to all ports except ingress. The
 		// replicas are unpooled frames sharing the payload bytes, so the
 		// original is detached from its pool (rare control-plane path).
-		f.pool = nil
+		f.Detach()
 		s.eng.After(s.latency, func() {
 			for i, sp := range s.ports {
 				if i != in {

@@ -124,6 +124,100 @@ func TestSwitchBroadcast(t *testing.T) {
 	}
 }
 
+// releaser consumes and immediately releases delivered frames, counting
+// them — the well-behaved endpoint for pool-accounting tests.
+type releaser struct{ n int }
+
+func (r *releaser) Deliver(f *Frame) { r.n++; f.Release() }
+
+func TestTxBufferTailDrop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, 10*Gbps, time.Microsecond)
+	rx := &releaser{}
+	l.Port(1).Attach(rx)
+	pool := NewFramePool()
+	// Bound the egress to ~4 full frames of wire occupancy.
+	l.Port(0).SetTxBuffer(4 * wire.WireLen(1500))
+	for i := 0; i < 10; i++ {
+		f := pool.Get(1500)
+		l.Port(0).Send(f)
+	}
+	eng.Run()
+	if l.Port(0).TxDropped == 0 {
+		t.Fatal("bounded egress never tail-dropped")
+	}
+	if got := rx.n + int(l.Port(0).TxDropped); got != 10 {
+		t.Fatalf("delivered %d + dropped %d != 10 sent", rx.n, l.Port(0).TxDropped)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("tail drop leaked %d frames from the pool", pool.InUse())
+	}
+	// Once the queue drains, the buffer accepts frames again.
+	f := pool.Get(1500)
+	l.Port(0).Send(f)
+	eng.Run()
+	if pool.InUse() != 0 {
+		t.Fatalf("post-drain send leaked %d frames", pool.InUse())
+	}
+	if rx.n != 10-int(l.Port(0).TxDropped)+1 {
+		t.Fatalf("post-drain frame not delivered (rx=%d)", rx.n)
+	}
+}
+
+func TestFramePoolInUseAccounting(t *testing.T) {
+	pool := NewFramePool()
+	a, b := pool.Get(100), pool.Get(200)
+	if pool.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", pool.InUse())
+	}
+	a.Release()
+	if pool.InUse() != 1 {
+		t.Fatalf("InUse = %d after one release, want 1", pool.InUse())
+	}
+	// Oversized frames are accounted but not recycled.
+	big := pool.Get(FrameCap + 1)
+	if pool.InUse() != 2 {
+		t.Fatalf("InUse = %d with oversized frame, want 2", pool.InUse())
+	}
+	big.Release()
+	b.Release()
+	if pool.InUse() != 0 {
+		t.Fatalf("InUse = %d at quiescence, want 0", pool.InUse())
+	}
+	// Recycled buffers do not double-count.
+	c := pool.Get(64)
+	if pool.InUse() != 1 {
+		t.Fatalf("InUse = %d after recycle, want 1", pool.InUse())
+	}
+	c.Release()
+	// Detach (broadcast replication) balances the books.
+	d := pool.Get(64)
+	d.Detach()
+	if pool.InUse() != 0 {
+		t.Fatalf("InUse = %d after detach, want 0", pool.InUse())
+	}
+}
+
+func TestInterposeWrapsDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, 10*Gbps, time.Microsecond)
+	rx := &releaser{}
+	l.Port(1).Attach(rx)
+	seen := 0
+	l.Port(1).Interpose(func(ep Endpoint) Endpoint {
+		return endpointFunc(func(f *Frame) { seen++; ep.Deliver(f) })
+	})
+	l.Port(0).Send(NewFrame(make([]byte, 100)))
+	eng.Run()
+	if seen != 1 || rx.n != 1 {
+		t.Fatalf("interposer saw %d, endpoint saw %d; want 1/1", seen, rx.n)
+	}
+}
+
+type endpointFunc func(*Frame)
+
+func (fn endpointFunc) Deliver(f *Frame) { fn(f) }
+
 func TestBondSpreadsFlows(t *testing.T) {
 	eng := sim.NewEngine(1)
 	sw := NewSwitch(eng)

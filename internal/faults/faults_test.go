@@ -1,0 +1,298 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"ix/internal/fabric"
+	"ix/internal/sim"
+	"ix/internal/wire"
+)
+
+// collector is an endpoint recording delivery order and releasing frames.
+type collector struct {
+	eng    *sim.Engine
+	seqs   []int // sequence tags parsed from the frame payload
+	times  []sim.Time
+	frames int
+}
+
+func (c *collector) Deliver(f *fabric.Frame) {
+	c.frames++
+	if len(f.Data) >= tcpOff+2 {
+		c.seqs = append(c.seqs, int(f.Data[tcpOff])<<8|int(f.Data[tcpOff+1]))
+	}
+	c.times = append(c.times, c.eng.Now())
+	f.Release()
+}
+
+const tcpOff = wire.EthHdrLen + wire.IPv4HdrLen
+
+// ipFrame builds a minimal IPv4 frame with a 2-byte sequence tag in the
+// transport region so corruption targeting stays past the IP header.
+func ipFrame(pool *fabric.FramePool, seq int) *fabric.Frame {
+	f := pool.Get(tcpOff + 32)
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+	f.Data[12] = byte(wire.EtherTypeIPv4 >> 8)
+	f.Data[13] = byte(wire.EtherTypeIPv4 & 0xff)
+	f.Data[tcpOff] = byte(seq >> 8)
+	f.Data[tcpOff+1] = byte(seq)
+	return f
+}
+
+func feed(eng *sim.Engine, in *Injector, pool *fabric.FramePool, n int) {
+	for i := 0; i < n; i++ {
+		in.Deliver(ipFrame(pool, i))
+	}
+	eng.Run()
+}
+
+func TestBernoulliLossRateAndNoLeak(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rx := &collector{eng: eng}
+	in := Wrap(eng, rx, 7)
+	in.Apply(Config{LossP: 0.3})
+	pool := fabric.NewFramePool()
+	const n = 10000
+	feed(eng, in, pool, n)
+	st := in.Stats()
+	if st.Dropped+st.Delivered != n {
+		t.Fatalf("dropped %d + delivered %d != %d", st.Dropped, st.Delivered, n)
+	}
+	rate := float64(st.Dropped) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("loss rate %.3f, want ~0.30", rate)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("%d frames leaked", pool.InUse())
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rx := &collector{eng: eng}
+	in := Wrap(eng, rx, 11)
+	in.Apply(Config{GE: GELoss(0.05)})
+	pool := fabric.NewFramePool()
+	const n = 60000
+	// Track drop runs to verify burstiness (mean run length > Bernoulli's).
+	drops := 0
+	runs, runLen := 0, 0
+	var lens []int
+	for i := 0; i < n; i++ {
+		before := in.Stats().Dropped
+		in.Deliver(ipFrame(pool, i))
+		if in.Stats().Dropped > before {
+			drops++
+			runLen++
+		} else if runLen > 0 {
+			runs++
+			lens = append(lens, runLen)
+			runLen = 0
+		}
+	}
+	eng.Run()
+	rate := float64(drops) / n
+	if rate < 0.035 || rate > 0.065 {
+		t.Fatalf("GE loss rate %.3f, want ~0.05", rate)
+	}
+	mean := 0.0
+	for _, l := range lens {
+		mean += float64(l)
+	}
+	mean /= float64(runs)
+	// A Bernoulli channel at 5% has mean run length ~1.05; the bursty
+	// channel's runs are much longer.
+	if mean < 1.5 {
+		t.Fatalf("mean drop-run length %.2f — not bursty", mean)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("%d frames leaked", pool.InUse())
+	}
+}
+
+func TestDuplicationCopiesFrames(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rx := &collector{eng: eng}
+	in := Wrap(eng, rx, 3)
+	in.Apply(Config{DupP: 1.0})
+	pool := fabric.NewFramePool()
+	feed(eng, in, pool, 4)
+	if rx.frames != 8 {
+		t.Fatalf("delivered %d frames, want 8 (every frame doubled)", rx.frames)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("%d frames leaked (duplicate released a pooled frame twice?)", pool.InUse())
+	}
+	// Duplicates carry the same sequence tags as their originals.
+	counts := map[int]int{}
+	for _, s := range rx.seqs {
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c != 2 {
+			t.Fatalf("seq %d delivered %d times, want 2", s, c)
+		}
+	}
+}
+
+func TestCorruptionFlipsTransportBits(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var got []byte
+	rx := endpointFunc(func(f *fabric.Frame) {
+		got = append([]byte(nil), f.Data...)
+		f.Release()
+	})
+	in := Wrap(eng, rx, 5)
+	in.Apply(Config{CorruptP: 1.0})
+	pool := fabric.NewFramePool()
+	orig := ipFrame(pool, 1)
+	want := append([]byte(nil), orig.Data...)
+	in.Deliver(orig)
+	eng.Run()
+	if in.Stats().Corrupted != 1 {
+		t.Fatalf("corrupted = %d, want 1", in.Stats().Corrupted)
+	}
+	diff, diffAt := 0, -1
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+			diffAt = i
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if diffAt < tcpOff {
+		t.Fatalf("corruption at offset %d — inside L2/L3 headers", diffAt)
+	}
+	// Non-IPv4 frames (ARP) are never touched.
+	arp := pool.Get(42)
+	for i := range arp.Data {
+		arp.Data[i] = 0xaa
+	}
+	in.Deliver(arp)
+	eng.Run()
+	if in.Stats().Corrupted != 1 {
+		t.Fatal("non-IPv4 frame was corrupted")
+	}
+}
+
+type endpointFunc func(*fabric.Frame)
+
+func (fn endpointFunc) Deliver(f *fabric.Frame) { fn(f) }
+
+func TestJitterReorders(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rx := &collector{eng: eng}
+	in := Wrap(eng, rx, 9)
+	in.Apply(Config{JitterP: 0.5, Jitter: 50 * time.Microsecond})
+	pool := fabric.NewFramePool()
+	const n = 200
+	for i := 0; i < n; i++ {
+		in.Deliver(ipFrame(pool, i))
+		eng.RunFor(time.Microsecond) // spread arrivals so delays overtake
+	}
+	eng.Run()
+	if rx.frames != n {
+		t.Fatalf("delivered %d frames, want %d (jitter must not drop)", rx.frames, n)
+	}
+	inversions := 0
+	for i := 1; i < len(rx.seqs); i++ {
+		if rx.seqs[i] < rx.seqs[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("jitter produced no reordering")
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("%d frames leaked", pool.InUse())
+	}
+}
+
+func TestDownDropsEverythingAndHeals(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rx := &collector{eng: eng}
+	in := Wrap(eng, rx, 1)
+	in.Apply(Config{Down: true})
+	pool := fabric.NewFramePool()
+	feed(eng, in, pool, 10)
+	if rx.frames != 0 {
+		t.Fatalf("%d frames crossed a down link", rx.frames)
+	}
+	in.Apply(Config{})
+	feed(eng, in, pool, 10)
+	if rx.frames != 10 {
+		t.Fatalf("healed link delivered %d, want 10", rx.frames)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("%d frames leaked", pool.InUse())
+	}
+}
+
+func TestPlanScheduleAppliesSteps(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rx := &collector{eng: eng}
+	in := Wrap(eng, rx, 1)
+	in.Schedule(Flap(100*time.Microsecond, 50*time.Microsecond, 200*time.Microsecond, 2))
+	pool := fabric.NewFramePool()
+	// One frame every 10µs for 500µs: outages at [100,150) and [300,350).
+	for i := 0; i < 50; i++ {
+		eng.RunUntil(sim.Time(i * 10_000))
+		in.Deliver(ipFrame(pool, i))
+	}
+	eng.Run()
+	if in.Stats().Dropped != 10 {
+		t.Fatalf("dropped %d frames, want 10 (two 50µs outages)", in.Stats().Dropped)
+	}
+	if rx.frames != 40 {
+		t.Fatalf("delivered %d, want 40", rx.frames)
+	}
+}
+
+// TestDeterministicSchedule: identical seeds make identical decisions;
+// different seeds diverge.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) []int {
+		eng := sim.NewEngine(1)
+		rx := &collector{eng: eng}
+		in := Wrap(eng, rx, seed)
+		in.Apply(Config{GE: GELoss(0.10), DupP: 0.05, CorruptP: 0.02,
+			JitterP: 0.1, Jitter: 20 * time.Microsecond})
+		pool := fabric.NewFramePool()
+		for i := 0; i < 2000; i++ {
+			in.Deliver(ipFrame(pool, i))
+			eng.RunFor(500 * time.Nanosecond)
+		}
+		eng.Run()
+		if pool.InUse() != 0 {
+			t.Fatalf("%d frames leaked", pool.InUse())
+		}
+		return append([]int(nil), rx.seqs...)
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delivery %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"ix/internal/core"
 	"ix/internal/cost"
 	"ix/internal/fabric"
+	"ix/internal/faults"
 	"ix/internal/libix"
 	"ix/internal/linuxstack"
 	"ix/internal/mtcpstack"
@@ -89,6 +90,9 @@ type HostSpec struct {
 	IXCost *cost.IX
 	// RcvWnd optionally overrides the TCP receive window.
 	RcvWnd int
+	// MinRTO optionally overrides the TCP retransmission-timeout floor
+	// (default 200 µs; the paper cites support for 16 µs incast floors).
+	MinRTO time.Duration
 }
 
 // Cluster is the experiment testbed.
@@ -96,7 +100,11 @@ type Cluster struct {
 	Eng    *sim.Engine
 	Switch *fabric.Switch
 
-	hosts   []Host
+	hosts []Host
+	// links[i] holds host i's cables, in port order: Port(0) faces the
+	// host NIC, Port(1) faces the switch.
+	links   [][]*fabric.Link
+	sites   []*faults.Site
 	ixs     []*core.Dataplane
 	linuxes []*linuxstack.Host
 	mtcps   []*mtcpstack.Host
@@ -160,6 +168,7 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 			BatchBound: spec.BatchBound,
 			Seed:       seed,
 			RcvWnd:     spec.RcvWnd,
+			MinRTO:     spec.MinRTO,
 			User:       libix.Program(spec.Factory),
 		}
 		if spec.IXCost != nil {
@@ -177,6 +186,7 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 			Factory: spec.Factory,
 			Seed:    seed,
 			RcvWnd:  spec.RcvWnd,
+			MinRTO:  spec.MinRTO,
 		})
 		c.linuxes = append(c.linuxes, lh)
 		h = &hostAdapter{nic: lh.NIC(), arp: lh.ARP(), ip: ip, mac: mac, start: lh.Start}
@@ -189,6 +199,7 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 			Factory: spec.Factory,
 			Seed:    seed,
 			RcvWnd:  spec.RcvWnd,
+			MinRTO:  spec.MinRTO,
 		})
 		c.mtcps = append(c.mtcps, mh)
 		h = &hostAdapter{nic: mh.NIC(), arp: mh.ARP(), ip: ip, mac: mac, start: mh.Start}
@@ -197,11 +208,13 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 	}
 	// Cable the NIC's ports to the switch.
 	var portIdxs []int
+	var hostLinks []*fabric.Link
 	for p := 0; p < spec.Ports; p++ {
 		link := fabric.NewLink(c.Eng, LinkBandwidth, linkLatency)
 		h.NIC().AttachPort(link.Port(0))
 		idx := c.Switch.AddPort(link.Port(1))
 		portIdxs = append(portIdxs, idx)
+		hostLinks = append(hostLinks, link)
 	}
 	if spec.Ports == 1 {
 		c.Switch.Learn(mac, portIdxs[0])
@@ -209,7 +222,88 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 		c.Switch.Bond(mac, portIdxs)
 	}
 	c.hosts = append(c.hosts, h)
+	c.links = append(c.links, hostLinks)
+	c.sites = append(c.sites, nil)
 	return h
+}
+
+// hostIndex finds h's position in the cluster.
+func (c *Cluster) hostIndex(h Host) int {
+	for i, o := range c.hosts {
+		if o == h {
+			return i
+		}
+	}
+	panic("harness: host not in cluster")
+}
+
+// HostLinks returns the cables of h, in NIC-port order. Port(0) of each
+// link faces the host, Port(1) the switch.
+func (c *Cluster) HostLinks(h Host) []*fabric.Link {
+	return c.links[c.hostIndex(h)]
+}
+
+// Faults returns (attaching on first use) the fault-injection site
+// covering both directions of every cable of h. Injector seeds derive
+// from the cluster seed chain, so a fixed-seed run replays the same
+// fault schedule byte for byte.
+func (c *Cluster) Faults(h Host) *faults.Site {
+	idx := c.hostIndex(h)
+	if c.sites[idx] == nil {
+		site := &faults.Site{}
+		for _, link := range c.links[idx] {
+			c.seed = c.seed*6364136223846793005 + 1442695040888963407
+			// Port(0)'s endpoint is the host NIC: impairs traffic
+			// toward the host. Port(1)'s endpoint is the switch:
+			// impairs traffic from the host.
+			site.Injectors = append(site.Injectors,
+				faults.Interpose(c.Eng, link.Port(0), c.seed),
+				faults.Interpose(c.Eng, link.Port(1), c.seed^0xa5a5a5a5a5a5a5a5))
+		}
+		c.sites[idx] = site
+	}
+	return c.sites[idx]
+}
+
+// LimitEgress bounds the switch egress buffer toward h to n bytes per
+// port — the shallow-buffer configuration incast experiments need (the
+// default fabric queues without bound, so drops happen only at the NIC
+// edge, §3).
+func (c *Cluster) LimitEgress(h Host, n int) {
+	for _, link := range c.HostLinks(h) {
+		link.Port(1).SetTxBuffer(n)
+	}
+}
+
+// EgressDrops sums frames tail-dropped at the switch egress toward h.
+func (c *Cluster) EgressDrops(h Host) uint64 {
+	var n uint64
+	for _, link := range c.HostLinks(h) {
+		n += link.Port(1).TxDropped
+	}
+	return n
+}
+
+// FramesInUse sums outstanding frames across every stack's pool: the
+// cluster-wide frame-conservation invariant. After traffic quiesces it
+// must return to zero — a dropped, duplicated or delayed frame that
+// leaks (or double-frees, which panics in fabric) shows up here.
+func (c *Cluster) FramesInUse() int {
+	n := 0
+	for _, dp := range c.ixs {
+		for i := 0; i < dp.Threads(); i++ {
+			n += dp.Thread(i).Stack().FramePool().InUse()
+		}
+	}
+	for _, lh := range c.linuxes {
+		n += lh.Stack().FramePool().InUse()
+	}
+	for _, mh := range c.mtcps {
+		for i := 0; i < mh.Cores(); i++ {
+			n += mh.Stack(i).FramePool().InUse()
+		}
+	}
+	return n
 }
 
 // IXServer returns the i-th IX dataplane added.

@@ -9,6 +9,9 @@ import (
 
 // TestDebugScaling bisects the client-scaling collapse.
 func TestDebugScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic dump, no assertions")
+	}
 	for _, tc := range []struct{ hosts, cores int }{
 		{1, 1}, {1, 4}, {4, 1}, {4, 4}, {10, 6},
 	} {

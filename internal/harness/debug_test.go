@@ -10,6 +10,9 @@ import (
 // TestDebugSingleConn is a diagnostic for RPC stalls: one connection,
 // closed loop, with protocol counters dumped.
 func TestDebugSingleConn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic dump, no assertions")
+	}
 	cl := NewCluster(3)
 	m := echo.NewMetrics()
 	cl.AddHost("server", HostSpec{Arch: ArchIX, Cores: 1, Factory: echo.ServerFactory(7777, 64)})

@@ -328,4 +328,9 @@ var Experiments = map[string]func(Scale) *Result{
 	"fig6":    Fig6,
 	"table2":  Table2,
 	"elastic": Elastic,
+	// Scenario breadth beyond the paper's figures: N-to-1 incast at the
+	// §4.2 16 µs RTO floor, and the echo fleet under a randomized
+	// fault schedule with end-to-end invariant checks.
+	"incast": Incast,
+	"chaos":  Chaos,
 }

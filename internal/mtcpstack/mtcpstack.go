@@ -114,6 +114,9 @@ func (h *Host) Start() {
 // Cores returns the core count.
 func (h *Host) Cores() int { return len(h.cores) }
 
+// Stack returns core i's network stack (started hosts only).
+func (h *Host) Stack(i int) *netstack.Stack { return h.cores[i].ns }
+
 // ConnCount sums live connections.
 func (h *Host) ConnCount() int {
 	n := 0

@@ -138,6 +138,10 @@ func New(cfg Config) *Stack {
 // TCP returns the embedded TCP engine.
 func (s *Stack) TCP() *tcp.Stack { return s.tcp }
 
+// FramePool returns the stack's transmit frame pool, for the
+// frame-conservation invariants of the fault-injection tests.
+func (s *Stack) FramePool() *fabric.FramePool { return s.frames }
+
 // Input processes one received frame held in buf (the posted receive
 // mbuf the simulated DMA wrote into). The stack keeps zero-copy views
 // into buf for TCP/UDP payload delivery; callers must Unref buf after

@@ -120,6 +120,50 @@ func TestRingOverflowDrops(t *testing.T) {
 	}
 }
 
+// TestRingOverflowReleasesPooledFrames: every frame the NIC edge drops
+// (ring overflow on deliver, descriptor exhaustion on Inject, TX ring
+// starvation on Post) must go back to its sender's pool — the
+// frame-conservation contract the fault-injection chaos tests assert
+// cluster-wide.
+func TestRingOverflowReleasesPooledFrames(t *testing.T) {
+	eng, n, l := newTestNIC(t, 1)
+	pool := fabric.NewFramePool()
+	key := wire.FlowKey{SrcIP: wire.Addr4(10, 0, 0, 3), DstIP: wire.Addr4(10, 0, 0, 1),
+		SrcPort: 4000, DstPort: 80, Proto: wire.ProtoTCP}
+	mk := func() *fabric.Frame {
+		raw := buildTCPFrame(n.MAC, key)
+		f := pool.Get(len(raw))
+		copy(f.Data, raw)
+		return f
+	}
+	for i := 0; i < 20; i++ { // ring size 8: 12 drops
+		l.Port(1).Send(mk())
+	}
+	eng.Run()
+	if n.RxDrops == 0 {
+		t.Fatal("no overflow drops")
+	}
+	if got := pool.InUse(); got != n.RxQueue(0).Len() {
+		t.Fatalf("pool holds %d frames, ring holds %d — dropped frames not released",
+			got, n.RxQueue(0).Len())
+	}
+	// Inject into a descriptor-exhausted queue also releases.
+	before := pool.InUse()
+	if n.RxQueue(0).Inject(mk()) {
+		t.Fatal("inject succeeded without descriptors")
+	}
+	if pool.InUse() != before {
+		t.Fatal("inject drop did not release the frame")
+	}
+	// Draining the ring releases the survivors (the OS model's copy-out).
+	for _, f := range n.RxQueue(0).Take(8) {
+		f.Release()
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("%d frames leaked", pool.InUse())
+	}
+}
+
 func TestInterruptModeration(t *testing.T) {
 	eng := sim.NewEngine(1)
 	n := New(eng, wire.MAC{2}, Config{Queues: 1, RingSize: 64, ITR: 10 * time.Microsecond})

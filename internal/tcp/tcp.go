@@ -359,6 +359,14 @@ type Conn struct {
 	cwnd     uint32
 	ssthresh uint32
 	dupAcks  int
+	// Loss recovery (NewReno, RFC 6582): while inRecovery, a partial ACK
+	// (one below recoverSeq, the sndNxt at loss detection) means the
+	// next hole is already known lost, so it is retransmitted
+	// immediately instead of waiting out another full RTO — without this
+	// a k-segment burst loss costs k serial timeouts, which at a 200 µs
+	// MinRTO floor is exactly the incast collapse of §5.
+	inRecovery bool
+	recoverSeq uint32
 
 	// RTT estimation.
 	srtt, rttvar time.Duration
@@ -675,6 +683,15 @@ func (c *Conn) processAck(hdr *wire.TCPHeader) {
 		released := c.ackRetransQ(ack)
 		c.updateRTT(ack)
 		c.growCwnd(uint32(acked))
+		if c.inRecovery {
+			if seqLT(ack, c.recoverSeq) && c.retransLen() > 0 {
+				// Partial ACK: retransmit the next hole now.
+				c.stack.Retransmits++
+				c.resend(&c.retransQ[c.retransHead])
+			} else {
+				c.inRecovery = false
+			}
+		}
 		if c.retransLen() == 0 {
 			c.cancelRTO()
 		} else {
@@ -777,6 +794,13 @@ func (c *Conn) fastRetransmit() {
 	if c.retransLen() == 0 {
 		return
 	}
+	if c.inRecovery {
+		// NewReno re-entry guard (RFC 6582): dup ACKs arriving during
+		// recovery belong to the same loss window — the partial-ACK
+		// path already retransmits the holes; halving cwnd again would
+		// collapse it once per hole.
+		return
+	}
 	c.stack.FastRetransmits++
 	mss := uint32(c.mss())
 	fl := c.flight()
@@ -786,6 +810,8 @@ func (c *Conn) fastRetransmit() {
 	}
 	c.ssthresh = half
 	c.cwnd = c.ssthresh
+	c.inRecovery = true
+	c.recoverSeq = c.sndNxt
 	c.resend(&c.retransQ[c.retransHead])
 	c.armRTO()
 }
@@ -1362,6 +1388,8 @@ func (c *Conn) onRTO() {
 		c.sendFlags(wire.TCPSyn|wire.TCPAck, c.iss, c.rcvNxt, true)
 	default:
 		if c.retransLen() > 0 {
+			c.inRecovery = true
+			c.recoverSeq = c.sndNxt
 			c.resend(&c.retransQ[c.retransHead])
 		}
 	}

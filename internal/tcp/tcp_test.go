@@ -339,6 +339,67 @@ func TestFastRetransmit(t *testing.T) {
 	}
 }
 
+// TestBurstLossRecoversWithoutSerialRTOs: a contiguous burst of lost
+// segments recovers within ONE retransmission timeout — each partial
+// ACK during recovery retransmits the next hole immediately (NewReno,
+// RFC 6582). Without that, k lost segments cost k serial RTOs with
+// exponential backoff (1+2+4+... ms here), and this test's single
+// 1.5 ms advance could not complete the transfer.
+func TestBurstLossRecoversWithoutSerialRTOs(t *testing.T) {
+	n := newTestNet(t, nil)
+	c, s := n.open(t, 80)
+	const segs, segLen = 8, 500
+	base := c.iss + 1
+	seen := map[uint32]bool{}
+	n.drop = func(from *side, hdr *wire.TCPHeader, payload []byte) bool {
+		if from != n.a || len(payload) == 0 {
+			return false
+		}
+		idx := int(hdr.Seq-base) / segLen
+		if !seen[hdr.Seq] {
+			seen[hdr.Seq] = true
+			// First transmission of segments 2..6 is lost (a 5-segment
+			// hole); 0, 1 and 7 get through — only one dup ACK, so fast
+			// retransmit cannot mask the timeout path.
+			return idx >= 2 && idx <= 6
+		}
+		return false
+	}
+	chunk := make([]byte, segLen)
+	for i := 0; i < segs; i++ {
+		c.Sendv([][]byte{chunk})
+	}
+	n.step()
+	if got := len(n.b.recvd[s]); got != 2*segLen {
+		t.Fatalf("pre-RTO delivery = %d bytes, want %d", got, 2*segLen)
+	}
+	// One RTO (initial 1 ms) plus margin — NOT enough for serial
+	// timeouts with backoff.
+	n.advance(1500 * time.Microsecond)
+	if got := len(n.b.recvd[s]); got != segs*segLen {
+		t.Fatalf("received %d bytes within one RTO, want %d (burst holes "+
+			"must retransmit on partial ACKs, not serial RTOs)", got, segs*segLen)
+	}
+	if n.a.sent[c] != segs*segLen {
+		t.Fatalf("acked %d, want %d", n.a.sent[c], segs*segLen)
+	}
+	if c.inRecovery {
+		t.Fatal("connection still in recovery after full ACK")
+	}
+	// Recovery exited cleanly: post-recovery traffic must not trigger
+	// spurious retransmissions.
+	rexmit := n.a.stack.Retransmits
+	c.Send([]byte("post-recovery"))
+	n.step()
+	if n.a.stack.Retransmits != rexmit {
+		t.Fatalf("clean post-recovery send retransmitted (%d -> %d)",
+			rexmit, n.a.stack.Retransmits)
+	}
+	if got := string(n.b.recvd[s][segs*segLen:]); got != "post-recovery" {
+		t.Fatalf("post-recovery delivery %q", got)
+	}
+}
+
 func TestOutOfOrderReassembly(t *testing.T) {
 	n := newTestNet(t, nil)
 	c, s := n.open(t, 80)

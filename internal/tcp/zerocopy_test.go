@@ -118,6 +118,97 @@ func TestRetransmitArenaSafety(t *testing.T) {
 	}
 }
 
+// TestRetransmitArenaSafetyUnderBurstLoss is the data-loss twin of
+// TestRetransmitArenaSafety: instead of withholding ACKs, the network
+// eats every data segment (first transmissions AND retransmissions)
+// while the storm flag is set, driving repeated RTOs with exponential
+// backoff — the fault-injection layer's burst-loss regime. Throughout
+// the storm the tx arena must stay immutable and unreclaimed (released
+// stays 0, chunk count constant, every retransmission byte-identical);
+// when the loss clears, NewReno partial-ACK recovery drains the holes,
+// the release count reaches exactly the bytes sent, and the arena
+// returns to the pool.
+func TestRetransmitArenaSafetyUnderBurstLoss(t *testing.T) {
+	n := newTestNet(t, nil)
+
+	pool := mem.NewTxChunkPool(mem.NewRegion(4), 0)
+	var arena mem.TxArena
+	arena.Init(pool)
+
+	firstTx := map[uint32][]byte{}
+	rexmits := 0
+	storm := false
+	n.drop = func(from *side, hdr *wire.TCPHeader, payload []byte) bool {
+		if from == n.a && len(payload) > 0 {
+			if orig, seen := firstTx[hdr.Seq]; seen {
+				rexmits++
+				if !bytes.Equal(orig, payload) {
+					t.Errorf("retransmission of seq %d mutated: first %q, retransmit %q",
+						hdr.Seq, orig, payload)
+				}
+			} else {
+				firstTx[hdr.Seq] = append([]byte(nil), payload...)
+			}
+			return storm // the storm eats all data, even retransmissions
+		}
+		return false
+	}
+
+	c, _ := n.open(t, 80)
+	n.a.onRelease = func(conn *Conn, released int) { arena.Release(released) }
+
+	storm = true
+	totalSent := 0
+	for i := 0; i < 6; i++ {
+		msg := bytes.Repeat([]byte{byte('A' + i)}, 900)
+		copy(msg, fmt.Sprintf("burst-%d|", i))
+		b := msg
+		for len(b) > 0 {
+			v := arena.Append(b)
+			if len(v) == 0 {
+				t.Fatal("arena exhausted")
+			}
+			if got := c.Send(v); got != len(v) {
+				t.Fatalf("window closed early: accepted %d of %d", got, len(v))
+			}
+			totalSent += len(v)
+			b = b[len(v):]
+		}
+	}
+	n.step()
+	if pool.InUse() == 0 {
+		t.Fatal("arena holds no chunks despite unacked segments")
+	}
+	heldChunks := pool.InUse()
+
+	// Several RTO rounds with everything lost: backoff grows, bytes stay.
+	for round := 0; round < 4; round++ {
+		n.advance(5 * time.Millisecond)
+		if got := n.a.released[c]; got != 0 {
+			t.Fatalf("released %d bytes mid-storm, want 0", got)
+		}
+		if pool.InUse() != heldChunks {
+			t.Fatalf("chunk count changed mid-storm: %d -> %d", heldChunks, pool.InUse())
+		}
+	}
+	if rexmits == 0 {
+		t.Fatal("storm produced no retransmissions")
+	}
+
+	// Loss clears: RTO-driven head retransmit + partial-ACK hole
+	// retransmits recover the whole burst; the arena drains.
+	storm = false
+	for i := 0; i < 20 && n.a.released[c] < totalSent; i++ {
+		n.advance(10 * time.Millisecond)
+	}
+	if got := n.a.released[c]; got != totalSent {
+		t.Fatalf("released %d bytes after storm cleared, want %d", got, totalSent)
+	}
+	if pool.InUse() != 0 || arena.Live() != 0 {
+		t.Fatalf("arena not drained: InUse=%d live=%d", pool.InUse(), arena.Live())
+	}
+}
+
 // TestReleasedLagsPartialAck: a cumulative ACK covering only part of a
 // segment releases nothing — the whole segment stays referenced until
 // fully acknowledged (release granularity is the segment, the unit the

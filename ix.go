@@ -33,6 +33,7 @@ import (
 	"ix/internal/apps/memcached"
 	"ix/internal/core"
 	"ix/internal/cp"
+	"ix/internal/faults"
 	"ix/internal/harness"
 	"ix/internal/mutilate"
 	"ix/internal/sim"
@@ -189,8 +190,56 @@ type (
 // memcached server.
 func RunElastic(s ElasticSetup) ElasticResult { return harness.RunElastic(s) }
 
+// Fault injection: the deterministic link-impairment layer and the
+// workloads built on it (incast at the 16 µs RTO floor, chaos fleets).
+type (
+	// FaultConfig is one impairment setting (Bernoulli/Gilbert–Elliott
+	// loss, duplication, corruption, reordering jitter, link down).
+	FaultConfig = faults.Config
+	// FaultPlan is a deterministic impairment timeline.
+	FaultPlan = faults.Plan
+	// FaultStep is one timeline entry of a FaultPlan.
+	FaultStep = faults.Step
+	// FaultSite groups the injectors covering one host's links
+	// (obtained from Cluster.Faults).
+	FaultSite = faults.Site
+	// GEChannel parameterizes Gilbert–Elliott burst loss.
+	GEChannel = faults.GE
+)
+
+// GELoss returns a bursty Gilbert–Elliott channel with the given
+// average loss rate.
+func GELoss(avg float64) *GEChannel { return faults.GELoss(avg) }
+
+// FaultFlap returns a plan that takes a link down for outage every
+// period, n times.
+func FaultFlap(start, outage, period time.Duration, n int) FaultPlan {
+	return faults.Flap(start, outage, period, n)
+}
+
+// IncastSetup configures RunIncast; IncastResult is its measurement.
+type (
+	IncastSetup  = harness.IncastSetup
+	IncastResult = harness.IncastResult
+)
+
+// RunIncast executes one synchronized N-to-1 incast configuration
+// (goodput collapse/recovery under the MinRTO sweep of §4.2).
+func RunIncast(s IncastSetup) IncastResult { return harness.RunIncast(s) }
+
+// ChaosSetup configures RunChaos; ChaosResult carries the invariant
+// outcomes (verify errors, checksum mismatches, frame leaks).
+type (
+	ChaosSetup  = harness.ChaosSetup
+	ChaosResult = harness.ChaosResult
+)
+
+// RunChaos executes one randomized fault schedule against an echo fleet
+// in verify mode.
+func RunChaos(s ChaosSetup) ChaosResult { return harness.RunChaos(s) }
+
 // Experiments maps experiment names (fig2, fig3a, fig3b, fig3c, fig4,
-// fig5, fig6, table2, elastic) to their runners.
+// fig5, fig6, table2, elastic, incast, chaos) to their runners.
 var Experiments = harness.Experiments
 
 // RunExperiment regenerates one paper figure/table at the given scale.
