@@ -15,15 +15,16 @@ import (
 // shapes are visible in benchmark output.
 
 // benchScale shrinks windows further under -bench to keep runs snappy,
-// but raises the Fig. 4 connection ceiling to 100k (the paper sweeps to
-// 250k) — the hot-path work in sim/mem/wire/nicsim makes that affordable
-// within the bench budget.
+// but runs the Fig. 4 sweep to the paper's full 250k connections: the
+// quiet-ramp establishment fast path plus the persistent warmed cluster
+// (one ramp per configuration, delta establishment between points) make
+// the full axis cheaper than PR 4's 100k cold sweep.
 var benchScale = func() Scale {
 	s := Quick
 	s.Warmup = 2 * time.Millisecond
 	s.Window = 6 * time.Millisecond
 	s.RPSSteps = 3
-	s.MaxConns = 100_000
+	s.MaxConns = 250_000
 	return s
 }()
 

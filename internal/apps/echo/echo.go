@@ -198,6 +198,22 @@ type ClientConfig struct {
 	// across client threads.
 	Verify     bool
 	VerifySeed uint64
+
+	// QuietRamp defers all RPC traffic until this thread's target
+	// connection population is established (rotation mode only):
+	// during the ramp, handshake frames have the NIC rings, the event
+	// queues and the client CPU to themselves, so establishment runs
+	// several times faster than it would while competing with data
+	// segments. Traffic starts on the thread the instant its target
+	// population is reached (unless the thread is fleet-paused).
+	QuietRamp bool
+
+	// Fleet, when non-nil, registers this client thread for
+	// cross-sweep-point coordination: a persistent-cluster harness
+	// pauses the fleet, drains in-flight RPCs, retargets the
+	// population (delta establishment or paced-FIN teardown) and
+	// resumes — reusing one warmed testbed across measurement points.
+	Fleet *Fleet
 }
 
 // clientConn tracks one RPC stream.
@@ -206,6 +222,10 @@ type clientConn struct {
 	got    int
 	t0     int64
 	busy   bool
+	// retiring marks a connection being torn down by a fleet retarget
+	// (paced FIN); its death is expected and must not trigger the
+	// dead-connection replacement path.
+	retiring bool
 
 	// Verify mode: pat seeds this connection's request pattern, buf
 	// holds the current round's request bytes, unsent its not-yet-
@@ -255,7 +275,11 @@ const (
 // ClientFactory returns an app.Factory generating echo load per cfg.
 func ClientFactory(cfg ClientConfig) app.Factory {
 	return func(env app.Env, thread, threads int) app.Handler {
-		c := &client{env: env, cfg: cfg}
+		c := &client{env: env, cfg: cfg, target: cfg.Conns}
+		c.quiet = cfg.QuietRamp && cfg.Outstanding > 0
+		if cfg.Fleet != nil {
+			cfg.Fleet.clients = append(cfg.Fleet.clients, c)
+		}
 		c.rampConnect(cfg.Conns)
 		return c
 	}
@@ -263,23 +287,50 @@ func ClientFactory(cfg ClientConfig) app.Factory {
 
 // rampConnect opens up to one batch of connections now and schedules the
 // remainder.
-func (cl *client) rampConnect(remaining int) {
-	batch, gap := cl.cfg.RampBatch, cl.cfg.RampGap
+func (cl *client) rampConnect(remaining int) { cl.rampStep(cl.rampGen, remaining) }
+
+// rampPacing returns the effective connect batch size and inter-batch gap.
+func (cl *client) rampPacing() (batch int, gap time.Duration) {
+	batch, gap = cl.cfg.RampBatch, cl.cfg.RampGap
 	if batch <= 0 {
 		batch = connectBatch
 	}
 	if gap <= 0 {
 		gap = connectBatchGap
 	}
+	return batch, gap
+}
+
+// rampStep opens one paced batch and schedules the next. gen guards the
+// chain: a fleet retarget bumps rampGen, killing stale chains from the
+// previous sweep point. In rotation mode the remaining work is recomputed
+// from the live population (ring + unresolved connects vs target) so a
+// chain self-terminates exactly when the point's delta is covered.
+func (cl *client) rampStep(gen uint64, remaining int) {
+	if gen != cl.rampGen {
+		return
+	}
+	batch, gap := cl.rampPacing()
 	n := remaining
+	if cl.cfg.Outstanding > 0 {
+		if want := cl.target - len(cl.ring) - cl.pending; want < n {
+			n = want
+		}
+	}
 	if n > batch {
 		n = batch
 	}
 	for i := 0; i < n; i++ {
 		cl.connect()
 	}
-	if rest := remaining - n; rest > 0 {
-		cl.env.After(gap, func() { cl.rampConnect(rest) })
+	rest := remaining - n
+	more := rest > 0
+	if cl.cfg.Outstanding > 0 {
+		more = cl.target-len(cl.ring)-cl.pending > 0
+		rest = cl.target // upper bound; the live recomputation paces it
+	}
+	if more {
+		cl.env.After(gap, func() { cl.rampStep(gen, rest) })
 	}
 }
 
@@ -294,15 +345,33 @@ type client struct {
 	ring     []app.Conn
 	cursor   int
 	inFlight int
+
+	// target is the current connection-population goal; it starts at
+	// cfg.Conns and moves with fleet retargets. OnClosed replaces dead
+	// connections only while the ring sits below it.
+	target int
+	// quiet defers RPC issue until the ring reaches target (QuietRamp).
+	quiet bool
+	// paused stops new RPC issue (in-flight ones finish): the fleet
+	// drain state between persistent-cluster measurement points.
+	paused bool
+	// pending counts connects issued and not yet resolved either way.
+	pending int
+	// rampGen guards paced ramp/retire chains across retargets.
+	rampGen uint64
 }
 
 func (cl *client) connect() {
+	cl.pending++
 	_ = cl.env.Connect(cl.cfg.ServerIP, cl.cfg.Port, nil)
 }
 
 func (cl *client) OnAccept(c app.Conn) {}
 
 func (cl *client) OnConnected(c app.Conn, ok bool) {
+	if cl.pending > 0 {
+		cl.pending--
+	}
 	if !ok {
 		cl.cfg.Metrics.Failures.Inc()
 		if cl.cfg.Metrics.Running && !cl.cfg.NoReconnect {
@@ -320,13 +389,39 @@ func (cl *client) OnConnected(c app.Conn, ok bool) {
 	c.SetCookie(st)
 	if cl.cfg.Outstanding > 0 {
 		cl.ring = append(cl.ring, c)
-		if cl.inFlight < cl.cfg.Outstanding {
+		if cl.quiet {
+			// Quiet ramp: hold all traffic until the population is
+			// complete, then open the rotation at full outstanding.
+			if len(cl.ring) >= cl.target {
+				cl.quiet = false
+				if !cl.paused {
+					cl.startRotation()
+				}
+			}
+			return
+		}
+		if !cl.paused && cl.inFlight < cl.cfg.Outstanding {
 			cl.inFlight++
 			cl.sendReq(c, st)
 		}
 		return
 	}
 	cl.sendReq(c, st)
+}
+
+// startRotation opens the rotation window: up to Outstanding RPCs issued
+// over the ring (the moment quiet ramp completes, or a fleet resume).
+func (cl *client) startRotation() {
+	n := cl.cfg.Outstanding
+	if n > len(cl.ring) {
+		n = len(cl.ring)
+	}
+	// Bounded by slot count, not inFlight: issueNext gives a slot back
+	// when every ring entry is already busy.
+	for i := cl.inFlight; i < n; i++ {
+		cl.inFlight++
+		cl.issueNext()
+	}
 }
 
 // issueNext launches an RPC on the next idle connection in the ring.
@@ -396,8 +491,14 @@ func (cl *client) OnRecv(c app.Conn, data []byte) {
 	}
 	st.busy = false
 	if cl.cfg.Outstanding > 0 {
+		if st.retiring {
+			// Late response on a retired connection: retireStep already
+			// returned its rotation slot when it cleared busy, so the
+			// completion must not give one back again.
+			return
+		}
 		// Rotation mode: move the in-flight slot to the next conn.
-		if m.Running {
+		if m.Running && !cl.paused {
 			cl.issueNext()
 		} else {
 			cl.inFlight--
@@ -428,11 +529,17 @@ func (cl *client) OnSent(c app.Conn, n int) {
 		st.unsent = st.unsent[k:]
 	}
 }
-func (cl *client) OnEOF(c app.Conn)         { c.Close() }
+func (cl *client) OnEOF(c app.Conn) { c.Close() }
 
 func (cl *client) OnClosed(c app.Conn) {
 	st, _ := c.Cookie().(*clientConn)
 	if cl.cfg.Outstanding > 0 {
+		if st != nil && st.retiring {
+			// Paced-FIN teardown: the retarget already removed the
+			// connection from the ring; its death is the expected end
+			// of the FIN handshake, not a failure to repair.
+			return
+		}
 		// Rotation mode: drop the dead connection from the ring, free its
 		// in-flight slot, and replace it to hold the population at target.
 		for i, rc := range cl.ring {
@@ -443,13 +550,13 @@ func (cl *client) OnClosed(c app.Conn) {
 		}
 		if st != nil && st.busy {
 			st.busy = false
-			if cl.cfg.Metrics.Running && len(cl.ring) > 0 {
+			if cl.cfg.Metrics.Running && !cl.paused && len(cl.ring) > 0 {
 				cl.issueNext()
 			} else {
 				cl.inFlight--
 			}
 		}
-		if cl.cfg.Metrics.Running && !cl.cfg.NoReconnect {
+		if cl.cfg.Metrics.Running && !cl.cfg.NoReconnect && len(cl.ring) < cl.target {
 			cl.cfg.Metrics.Failures.Inc()
 			cl.connect()
 		}
@@ -462,6 +569,154 @@ func (cl *client) OnClosed(c app.Conn) {
 		cl.connect()
 	}
 }
+
+// retireStep closes one paced batch of excess connections with FIN and
+// schedules the next — the teardown mirror of rampStep. Retired
+// connections leave the ring immediately (so the rotation never issues
+// on a dying stream) and are marked so their eventual death is not
+// treated as a failure to repair.
+func (cl *client) retireStep(gen uint64) {
+	if gen != cl.rampGen {
+		return
+	}
+	batch, gap := cl.rampPacing()
+	for i := 0; i < batch && len(cl.ring) > cl.target; i++ {
+		c := cl.ring[len(cl.ring)-1]
+		cl.ring[len(cl.ring)-1] = nil
+		cl.ring = cl.ring[:len(cl.ring)-1]
+		if st, _ := c.Cookie().(*clientConn); st != nil {
+			st.retiring = true
+			if st.busy {
+				// Defensive: retargets run on a drained fleet, but a
+				// busy victim must still give its in-flight slot back.
+				st.busy = false
+				cl.inFlight--
+			}
+		}
+		c.Close()
+	}
+	if len(cl.ring) > cl.target {
+		cl.env.After(gap, func() { cl.retireStep(gen) })
+	}
+}
+
+// retarget moves this thread to a new population target: quiet delta
+// establishment when growing, paced-FIN teardown when shrinking. seed is
+// the thread's slice of the sweep point's seed schedule — verify-mode
+// patterns restart from it on every connection, surviving ones included,
+// so a point's byte patterns depend only on (point seed, thread,
+// connection index), never on sweep history.
+func (cl *client) retarget(conns, outstanding int, seed uint64) {
+	cl.rampGen++
+	gen := cl.rampGen
+	cl.target = conns
+	cl.cfg.Outstanding = outstanding
+	cl.cfg.VerifySeed = seed
+	cl.connSeq = 0
+	if cl.cfg.Verify {
+		// Reseed the surviving population: pattern state and stream
+		// checksums restart from the new point's schedule, exactly as a
+		// cold cluster's connections would start. The fleet is drained
+		// (no RPC in flight), so no round straddles the reset.
+		for _, c := range cl.ring {
+			st, _ := c.Cookie().(*clientConn)
+			if st == nil {
+				continue
+			}
+			cl.connSeq++
+			st.pat = (seed + cl.connSeq) * 0xbf58476d1ce4e5b9
+			st.txSum, st.rxSum = fnvOffset, fnvOffset
+			st.rounds = 0
+		}
+	}
+	switch {
+	case len(cl.ring) < conns:
+		cl.quiet = cl.cfg.QuietRamp
+		cl.env.After(0, func() { cl.rampStep(gen, conns) })
+	case len(cl.ring) > conns:
+		cl.env.After(0, func() { cl.retireStep(gen) })
+	}
+}
+
+// Fleet coordinates a rotation-mode client population across the sweep
+// points of a persistent-cluster experiment. All methods are host-side
+// (Go memory, not simulated state) and must be called between simulation
+// runs; actions they trigger are scheduled into each thread's own task
+// context so CPU time is charged where the work happens.
+type Fleet struct {
+	clients []*client
+}
+
+// Pause stops new RPC issue fleet-wide; in-flight RPCs finish and park.
+func (f *Fleet) Pause() {
+	for _, cl := range f.clients {
+		cl.paused = true
+	}
+}
+
+// Resume restarts the rotation on every thread over whatever population
+// is established (clearing any unfinished quiet ramp).
+func (f *Fleet) Resume() {
+	for _, cl := range f.clients {
+		cl.paused = false
+		cl.quiet = false
+		c := cl
+		cl.env.After(0, func() {
+			if !c.paused && c.cfg.Metrics.Running {
+				c.startRotation()
+			}
+		})
+	}
+}
+
+// Retarget moves every thread to connsPerThread connections with the
+// given rotation depth. seed heads the sweep point's seed schedule; each
+// thread derives its slice from it deterministically.
+func (f *Fleet) Retarget(connsPerThread, outstanding int, seed uint64) {
+	for i, cl := range f.clients {
+		cl.retarget(connsPerThread, outstanding, seed+uint64(i+1)*0x9e3779b97f4a7c15)
+	}
+}
+
+// InFlight sums outstanding RPCs across the fleet (zero once a pause has
+// drained).
+func (f *Fleet) InFlight() int {
+	n := 0
+	for _, cl := range f.clients {
+		n += cl.inFlight
+	}
+	return n
+}
+
+// Open sums established connections across the fleet.
+func (f *Fleet) Open() int {
+	n := 0
+	for _, cl := range f.clients {
+		n += len(cl.ring)
+	}
+	return n
+}
+
+// Pending sums connects issued and not yet resolved.
+func (f *Fleet) Pending() int {
+	n := 0
+	for _, cl := range f.clients {
+		n += cl.pending
+	}
+	return n
+}
+
+// Target sums the per-thread population targets.
+func (f *Fleet) Target() int {
+	n := 0
+	for _, cl := range f.clients {
+		n += cl.target
+	}
+	return n
+}
+
+// Threads returns the number of registered client threads.
+func (f *Fleet) Threads() int { return len(f.clients) }
 
 // zeros returns a read-only buffer of n zero bytes (shared; applications
 // treat transmitted buffers as immutable).

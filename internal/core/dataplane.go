@@ -70,6 +70,8 @@ type Dataplane struct {
 	// missCache avoids recomputing the DDIO penalty every cycle.
 	missConns    int
 	missPenalty_ time.Duration
+	// missFloor_ is the handshake-frame miss charge, a run constant.
+	missFloor_ time.Duration
 
 	// Migration accounting (control-plane observability).
 	//
@@ -133,6 +135,7 @@ func New(eng *sim.Engine, cfg Config) *Dataplane {
 		region: mem.NewRegion(cfg.MemPages),
 		Domain: dune.Domain{Name: cfg.Name, Ring: dune.Ring0NonRoot},
 	}
+	d.missFloor_ = time.Duration(cost.MissesPerMsg(0) * float64(d.cfg.Cost.L3Miss))
 	d.nic = nicsim.New(eng, cfg.MAC, nicsim.Config{
 		Queues:   cfg.MaxThreads,
 		RingSize: cfg.NICRing,
@@ -207,6 +210,12 @@ func (d *Dataplane) missPenalty() time.Duration {
 	d.missPenalty_ = time.Duration(cost.MissesPerMsg(conns) * float64(d.cfg.Cost.L3Miss))
 	return d.missPenalty_
 }
+
+// missFloor is the handshake-frame miss charge: SYN/SYN-ACK processing
+// touches the listener and a fresh PCB, not the established-connection
+// working set the DDIO curve models, so establishment bursts charge the
+// ≤10k-connection floor regardless of population (batched SYN admission).
+func (d *Dataplane) missFloor() time.Duration { return d.missFloor_ }
 
 func (d *Dataplane) notifyNonResponsive(et *ElasticThread) {
 	if d.cfg.OnNonResponsive != nil {

@@ -190,8 +190,12 @@ func (et *ElasticThread) cycle(m *sim.Meter) {
 
 	// (2) Protocol processing, generating event conditions. Each frame's
 	// bytes are copied into a posted mbuf (the simulated DMA write) and
-	// the wire buffer returns to its sender's pool.
+	// the wire buffer returns to its sender's pool. Handshake frames
+	// charge the miss floor, not the population-scaled DDIO curve
+	// (batched SYN admission: accept-path state stays LLC-resident
+	// across an establishment burst).
 	missNs := et.dp.missPenalty()
+	missFloor := et.dp.missFloor()
 	for _, f := range frames {
 		buf := et.pool.Alloc()
 		if buf == nil {
@@ -204,7 +208,11 @@ func (et *ElasticThread) cycle(m *sim.Meter) {
 		m.Charge(c.ProtoRx)
 		m.Charge(c.ProtoRxByte.Cost(len(f.Data)))
 		m.Charge(c.CopyPerByte.Cost(len(f.Data))) // zero-copy ablation only
-		m.Charge(missNs)
+		if nicsim.IsTCPSYN(f.Data) {
+			m.Charge(missFloor)
+		} else {
+			m.Charge(missNs)
+		}
 		f.Release()
 		et.ns.Input(buf)
 		buf.Unref()
@@ -305,20 +313,21 @@ func (et *ElasticThread) cycleEnd() {
 		return
 	}
 	now := int64(et.dp.eng.Now())
-	nd, hasTimer := et.wheel.NextDeadline()
+	// NextFireTime, not NextDeadline: a deadline inside the current
+	// wheel tick cannot fire before the next tick boundary, and waking
+	// for it earlier re-runs cycles in which Advance makes no progress
+	// — the charged mid-tick spin the baselines' ensureTimerWake was
+	// already cured of.
+	ft, hasTimer := et.wheel.NextFireTime()
 	if et.rxq.Len() > 0 || len(et.events) > 0 || len(et.syscalls) > 0 ||
-		len(et.results) > 0 || (hasTimer && nd <= now) {
+		len(et.results) > 0 || (hasTimer && ft <= now) {
 		et.wake()
 		return
 	}
 	// Quiescent: hyperthread-friendly polling. A frame arrival wakes us
 	// via OnFrame; a pending timer schedules an explicit wakeup.
 	if hasTimer {
-		at := sim.Time(nd)
-		if at < et.dp.eng.Now() {
-			at = et.dp.eng.Now()
-		}
-		et.idleWake = et.dp.eng.At(at, et.idleFn)
+		et.idleWake = et.dp.eng.At(sim.Time(ft), et.idleFn)
 	}
 }
 
@@ -645,6 +654,9 @@ func (et *ElasticThread) CoreUtilization() float64 {
 
 // Pool exposes the thread's mbuf pool (tests and CP accounting).
 func (et *ElasticThread) Pool() *mem.MbufPool { return et.pool }
+
+// TxPool exposes the thread's TX arena chunk pool (conservation checks).
+func (et *ElasticThread) TxPool() *mem.TxChunkPool { return et.txpool }
 
 // ResetUtilWindow starts a fresh utilization measurement window (used by
 // the control plane's policy loop).

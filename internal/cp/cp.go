@@ -48,6 +48,13 @@ type Policy struct {
 	MinThreads, MaxThreads int
 	// Cooldown intervals after a change before acting again.
 	Cooldown int
+	// MaxInterval, when above Interval, makes the sampling cadence
+	// load-adaptive: while the dataplane is idle (no packets, empty
+	// rings, near-zero utilization) the controller doubles its interval
+	// toward this bound, cutting the idle cluster's event load; the
+	// first sample that shows load snaps the cadence back to Interval.
+	// Zero keeps the fixed cadence.
+	MaxInterval time.Duration
 }
 
 // DefaultPolicy returns a conservative elastic policy.
@@ -63,6 +70,7 @@ func DefaultPolicy() Policy {
 		ShrinkGuard: 0.8,
 		MinThreads:  1,
 		Cooldown:    4,
+		MaxInterval: 4 * time.Millisecond,
 	}
 }
 
@@ -72,6 +80,11 @@ func DefaultPolicy() Policy {
 type Sample struct {
 	At      sim.Time
 	Threads int
+	// Window is the observation interval this sample covers (equal to
+	// Policy.Interval under load; longer while the adaptive cadence is
+	// backed off on an idle cluster). Rates and per-packet figures are
+	// computed over it.
+	Window time.Duration
 	// AvgUtil is the mean busy fraction across elastic threads.
 	AvgUtil float64
 	// MaxDepth is the deepest RX descriptor ring (NIC-edge queueing).
@@ -104,6 +117,10 @@ type Controller struct {
 	cooldown int
 	stopped  bool
 	prevRx   uint64
+	// interval is the current sampling cadence; lastAt stamps the last
+	// observation (the adaptive-cadence window bookkeeping).
+	interval time.Duration
+	lastAt   sim.Time
 	// svcEWMA is the exponentially smoothed ns-per-packet estimate
 	// (α = 1/8), the service-time signal behind the shrink guard.
 	svcEWMA time.Duration
@@ -132,11 +149,12 @@ func New(eng *sim.Engine, dp *core.Dataplane, policy Policy) *Controller {
 		policy.MinThreads = 1
 	}
 	return &Controller{
-		eng:     eng,
-		dp:      dp,
-		policy:  policy,
-		Domain:  dune.Domain{Name: "ixcp", Ring: dune.RingVMXRoot0},
-		SvcTime: stats.NewHistogram(),
+		eng:      eng,
+		dp:       dp,
+		policy:   policy,
+		interval: policy.Interval,
+		Domain:   dune.Domain{Name: "ixcp", Ring: dune.RingVMXRoot0},
+		SvcTime:  stats.NewHistogram(),
 	}
 }
 
@@ -152,7 +170,9 @@ func (c *Controller) ReportNonResponsive(thread int) {
 // Start begins the periodic policy loop.
 func (c *Controller) Start() {
 	c.resetWindow()
-	c.eng.After(c.policy.Interval, c.tick)
+	c.interval = c.policy.Interval
+	c.lastAt = c.eng.Now()
+	c.eng.After(c.interval, c.tick)
 }
 
 // Stop halts the loop.
@@ -167,6 +187,11 @@ func (c *Controller) resetWindow() {
 // observe gathers one interval's signals from the dataplane.
 func (c *Controller) observe() Sample {
 	s := Sample{At: c.eng.Now(), Threads: c.dp.Threads()}
+	s.Window = time.Duration(s.At - c.lastAt)
+	if s.Window <= 0 {
+		s.Window = c.policy.Interval
+	}
+	c.lastAt = s.At
 	var utilSum float64
 	var rx uint64
 	for i := 0; i < s.Threads; i++ {
@@ -185,9 +210,9 @@ func (c *Controller) observe() Sample {
 	}
 	s.Pkts = rx - c.prevRx
 	c.prevRx = rx
-	s.PPS = stats.Rate(s.Pkts, c.policy.Interval)
+	s.PPS = stats.Rate(s.Pkts, s.Window)
 	if s.Pkts > 0 {
-		busy := time.Duration(utilSum * float64(c.policy.Interval))
+		busy := time.Duration(utilSum * float64(s.Window))
 		s.NsPerPkt = busy / time.Duration(s.Pkts)
 		c.SvcTime.Record(s.NsPerPkt)
 		if c.svcEWMA == 0 {
@@ -208,8 +233,9 @@ func (c *Controller) tick() {
 	if c.stopped {
 		return
 	}
-	defer c.eng.After(c.policy.Interval, c.tick)
+	defer func() { c.eng.After(c.interval, c.tick) }()
 	s := c.observe()
+	c.adaptInterval(s)
 	if c.cooldown > 0 {
 		c.cooldown--
 		c.resetWindow()
@@ -243,6 +269,29 @@ func (c *Controller) tick() {
 	}
 	c.resetWindow()
 }
+
+// adaptInterval applies the load-adaptive sampling cadence: back off
+// toward MaxInterval while the dataplane is idle, snap back to Interval
+// the moment a sample carries load. With the engine's hot paths now much
+// faster, a fixed fine-grained cadence is a measurable share of an idle
+// cluster's event load.
+func (c *Controller) adaptInterval(s Sample) {
+	if c.policy.MaxInterval <= c.policy.Interval {
+		return
+	}
+	idle := s.Pkts == 0 && s.MaxDepth == 0 && s.AvgUtil < 0.01
+	if idle {
+		c.interval *= 2
+		if c.interval > c.policy.MaxInterval {
+			c.interval = c.policy.MaxInterval
+		}
+	} else {
+		c.interval = c.policy.Interval
+	}
+}
+
+// Interval reports the controller's current sampling cadence.
+func (c *Controller) Interval() time.Duration { return c.interval }
 
 // Threads reports the managed dataplane's current elastic thread count.
 func (c *Controller) Threads() int { return c.dp.Threads() }

@@ -89,3 +89,67 @@ func TestPolicyBounds(t *testing.T) {
 		t.Fatalf("went below MinThreads: %d", srv.Threads())
 	}
 }
+
+// TestAdaptiveSamplingInterval: the controller's cadence backs off
+// toward MaxInterval while the managed dataplane is idle (cutting the
+// idle cluster's event load) and snaps back to Interval the moment a
+// sample carries load.
+func TestAdaptiveSamplingInterval(t *testing.T) {
+	cl := harness.NewCluster(29)
+	m := echo.NewMetrics()
+	fleet := &echo.Fleet{}
+	cl.AddHost("server", harness.HostSpec{
+		Arch: harness.ArchIX, Cores: 1, MaxThreads: 2,
+		Factory: echo.ServerFactory(9000, 64),
+	})
+	srv := cl.IXServer(0)
+	cl.AddHost("client", harness.HostSpec{
+		Arch: harness.ArchLinux, Cores: 2,
+		Factory: echo.ClientFactory(echo.ClientConfig{
+			ServerIP: srv.IP(), Port: 9000, MsgSize: 64,
+			Conns: 4, Outstanding: 2, Fleet: fleet, Metrics: m,
+		}),
+	})
+	cl.Start()
+	pol := cp.DefaultPolicy()
+	ctl := cp.New(cl.Eng, srv, pol)
+	ctl.Start()
+
+	// Loaded phase: cadence stays at the base interval.
+	cl.Run(10 * time.Millisecond)
+	if got := ctl.Interval(); got != pol.Interval {
+		t.Fatalf("interval under load = %v, want %v", got, pol.Interval)
+	}
+	loaded := len(ctl.History)
+
+	// Idle phase: pause the fleet, let in-flight RPCs drain, and watch
+	// the cadence stretch to MaxInterval.
+	fleet.Pause()
+	cl.Run(2 * time.Millisecond)
+	idleStart := len(ctl.History)
+	cl.Run(40 * time.Millisecond)
+	if got := ctl.Interval(); got != pol.MaxInterval {
+		t.Fatalf("idle interval = %v, want MaxInterval %v", got, pol.MaxInterval)
+	}
+	idleSamples := len(ctl.History) - idleStart
+	fixed := int(40 * time.Millisecond / pol.Interval)
+	if idleSamples >= fixed/3 {
+		t.Fatalf("idle phase took %d samples; a fixed cadence takes %d — no backoff", idleSamples, fixed)
+	}
+
+	// Load returns: the next loaded sample snaps the cadence back.
+	fleet.Resume()
+	cl.Run(2 * pol.MaxInterval)
+	if got := ctl.Interval(); got != pol.Interval {
+		t.Fatalf("interval after load returned = %v, want %v", got, pol.Interval)
+	}
+	if loaded == 0 || m.Msgs.Total() == 0 {
+		t.Fatal("no load was ever observed")
+	}
+	// History semantics: every sample carries its covering window.
+	for i, s := range ctl.History {
+		if s.Window <= 0 {
+			t.Fatalf("sample %d has no window", i)
+		}
+	}
+}

@@ -60,7 +60,14 @@ func TestFlowGroupMigration141(t *testing.T) {
 		}, &fired),
 	})
 	srv := cl.IXServer(0)
-	const clientHosts = 6
+	// 8 client machines: enough closed-loop offered load to push the
+	// server through the 0.9-utilization grow threshold at 3 threads.
+	// (PR 5's linuxstack event routing — established sockets wake their
+	// owning core's epoll instead of the RSS core's — ended an artifact
+	// where one client thread's connections were serviced in parallel by
+	// every core of its host, inflating each host's offered load; the
+	// old 6-host fleet then saturated only 3 server threads.)
+	const clientHosts = 8
 	for i := 0; i < clientHosts; i++ {
 		cl.AddHost("client", harness.HostSpec{
 			Arch: harness.ArchLinux, Cores: 4,

@@ -306,6 +306,21 @@ func (c *Cluster) FramesInUse() int {
 	return n
 }
 
+// TxChunksInUse sums TX arena chunks held across every IX dataplane
+// thread: the zero-copy-arena conservation invariant. Once traffic has
+// quiesced (all sends acknowledged, dead connections torn down) it must
+// return to zero — a teardown path that fails to release a connection's
+// arena shows up here.
+func (c *Cluster) TxChunksInUse() int {
+	n := 0
+	for _, dp := range c.ixs {
+		for i := 0; i < dp.Threads(); i++ {
+			n += dp.Thread(i).TxPool().InUse()
+		}
+	}
+	return n
+}
+
 // IXServer returns the i-th IX dataplane added.
 func (c *Cluster) IXServer(i int) *core.Dataplane { return c.ixs[i] }
 

@@ -28,6 +28,12 @@ type EchoSetup struct {
 	// echo.ClientConfig); zero means the echo defaults.
 	RampBatch int
 	RampGap   time.Duration
+	// QuietRamp defers all RPC traffic until each client thread's full
+	// connection population is established (rotation mode), letting
+	// handshakes run without data segments competing for NIC rings,
+	// event queues or client CPU — the establishment fast path of the
+	// large Fig. 4 points.
+	QuietRamp bool
 	// Rounds is n round trips per connection before RST (0 = infinite).
 	Rounds  int
 	MsgSize int
@@ -56,9 +62,13 @@ type EchoResult struct {
 	ServerConns int
 }
 
-// RunEcho builds a cluster per setup, warms it, measures a window, and
-// returns steady-state rates.
-func RunEcho(s EchoSetup) EchoResult {
+// echoPort is the well-known echo service port of the testbed.
+const echoPort = 9000
+
+// buildEchoCluster assembles the echo testbed of s — one server host and
+// the client fleet sharing one metrics sink — and optionally registers
+// the client threads with a fleet coordinator (persistent-cluster mode).
+func buildEchoCluster(s *EchoSetup, m *echo.Metrics, fl *echo.Fleet) *Cluster {
 	if s.Seed == 0 {
 		s.Seed = 42
 	}
@@ -66,15 +76,13 @@ func RunEcho(s EchoSetup) EchoResult {
 		s.ServerPorts = 1
 	}
 	cl := NewCluster(s.Seed)
-	m := echo.NewMetrics()
-	const port = 9000
 	cl.AddHost("server", HostSpec{
 		Arch:       s.ServerArch,
 		Cores:      s.ServerCores,
 		Ports:      s.ServerPorts,
 		BatchBound: s.BatchBound,
 		IXCost:     s.IXCost,
-		Factory:    echo.ServerFactory(port, s.MsgSize),
+		Factory:    echo.ServerFactory(echoPort, s.MsgSize),
 	})
 	srvIP := cl.hosts[0].IP()
 	for i := 0; i < s.ClientHosts; i++ {
@@ -83,40 +91,56 @@ func RunEcho(s EchoSetup) EchoResult {
 			Cores: s.ClientCores,
 			Factory: echo.ClientFactory(echo.ClientConfig{
 				ServerIP:    srvIP,
-				Port:        port,
+				Port:        echoPort,
 				MsgSize:     s.MsgSize,
 				Rounds:      s.Rounds,
 				Conns:       s.ConnsPerThread,
 				Outstanding: s.Outstanding,
 				RampBatch:   s.RampBatch,
 				RampGap:     s.RampGap,
+				QuietRamp:   s.QuietRamp,
+				Fleet:       fl,
 				Metrics:     m,
 			}),
 		})
 	}
-	cl.Start()
-	cl.Run(s.Warmup)
-	m.ResetWindow()
-	if s.ServerArch == ArchIX {
+	return cl
+}
+
+// resetEchoServerStats starts a fresh server measurement window.
+func resetEchoServerStats(cl *Cluster, arch Arch) {
+	switch arch {
+	case ArchIX:
 		cl.IXServer(0).ResetStats()
+	case ArchLinux:
+		cl.LinuxHost(0).ResetStats()
 	}
-	cl.Run(s.Window)
+}
+
+// echoServerConns reads the server's live connection count.
+func echoServerConns(cl *Cluster, arch Arch) int {
+	switch arch {
+	case ArchIX:
+		return cl.IXServer(0).ConnCount()
+	case ArchLinux:
+		return cl.LinuxHost(0).ConnCount()
+	case ArchMTCP:
+		return cl.MTCPHost(0).ConnCount()
+	}
+	return 0
+}
+
+// collectEcho reads one measurement window's results off the testbed.
+func collectEcho(cl *Cluster, s *EchoSetup, m *echo.Metrics, window time.Duration) EchoResult {
 	res := EchoResult{
-		MsgsPerSec:  float64(m.Msgs.Since()) / s.Window.Seconds(),
-		ConnsPerSec: float64(m.Conns.Since()) / s.Window.Seconds(),
+		MsgsPerSec:  float64(m.Msgs.Since()) / window.Seconds(),
+		ConnsPerSec: float64(m.Conns.Since()) / window.Seconds(),
 		RTTp50:      m.Latency.Quantile(0.5),
 		RTTp99:      m.Latency.Quantile(0.99),
 		RTTMean:     m.Latency.Mean(),
 	}
 	res.GoodputBps = res.MsgsPerSec * float64(s.MsgSize) * 8
-	switch s.ServerArch {
-	case ArchIX:
-		res.ServerConns = cl.IXServer(0).ConnCount()
-	case ArchLinux:
-		res.ServerConns = cl.LinuxHost(0).ConnCount()
-	case ArchMTCP:
-		res.ServerConns = cl.MTCPHost(0).ConnCount()
-	}
+	res.ServerConns = echoServerConns(cl, s.ServerArch)
 	if s.ServerArch == ArchIX {
 		dp := cl.IXServer(0)
 		k, u := dp.CPUBreakdown()
@@ -129,6 +153,22 @@ func RunEcho(s EchoSetup) EchoResult {
 		res.MeanBatch = dp.MeanBatch()
 		res.Drops = dp.RxDrops()
 	}
+	return res
+}
+
+// RunEcho builds a cluster per setup, warms it, measures a window, and
+// returns steady-state rates.
+func RunEcho(s EchoSetup) EchoResult {
+	m := echo.NewMetrics()
+	cl := buildEchoCluster(&s, m, nil)
+	cl.Start()
+	cl.Run(s.Warmup)
+	m.ResetWindow()
+	if s.ServerArch == ArchIX {
+		cl.IXServer(0).ResetStats()
+	}
+	cl.Run(s.Window)
+	res := collectEcho(cl, &s, m, s.Window)
 	m.Running = false
 	return res
 }

@@ -199,10 +199,11 @@ func RunElastic(s ElasticSetup) ElasticResult {
 	// Core-seconds: integrate the controller's per-interval samples over
 	// the ramp; a static run used MaxCores throughout.
 	if ctl != nil {
-		iv := ctl.Policy().Interval.Seconds()
 		for _, smp := range ctl.History {
 			if int64(smp.At) >= rampStart {
-				res.CoreSeconds += float64(smp.Threads) * iv
+				// Each sample covers its own window (the adaptive
+				// cadence stretches idle windows).
+				res.CoreSeconds += float64(smp.Threads) * smp.Window.Seconds()
 			}
 		}
 		res.Log = ctl.Log

@@ -127,14 +127,23 @@ func (ke *kernelEvents) k() *kcore {
 func (ke *kernelEvents) Knock(l *tcp.Listener, key wire.FlowKey) bool { return true }
 
 func (ke *kernelEvents) Accepted(c *tcp.Conn) {
+	// Affinity-accept: the new socket is owned by the core whose queue
+	// received the handshake (§2.3); its events wake that core's thread.
 	k := ke.k()
 	s := &sock{k: k, conn: c, acceptPending: true}
 	c.Cookie = s
 	k.enqueueReady(s)
 }
 
+// Established sockets wake the epoll of their *owning* core — the
+// thread that issued the connect (or accepted the socket) — regardless
+// of which core's softirq context processed the packet: a locally
+// initiated socket's return traffic carries no affinity to the issuing
+// core (the shared kernel stack has no RSS-aligned port probing), so
+// routing its readiness to the RSS core would hand the socket to a
+// different application thread than the one that owns the fd.
+
 func (ke *kernelEvents) Connected(c *tcp.Conn, ok bool) {
-	k := ke.k()
 	s, _ := c.Cookie.(*sock)
 	if s == nil {
 		return
@@ -144,11 +153,10 @@ func (ke *kernelEvents) Connected(c *tcp.Conn, ok bool) {
 	if !ok {
 		s.dead = true
 	}
-	k.enqueueReady(s)
+	s.k.enqueueReady(s)
 }
 
 func (ke *kernelEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
-	k := ke.k()
 	s, _ := c.Cookie.(*sock)
 	if s == nil {
 		return
@@ -157,13 +165,12 @@ func (ke *kernelEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
 	// time (CopyPerByte covers the single kernel→user copy; queueing
 	// here models skb retention without holding the mbuf).
 	s.rcvbuf = append(s.rcvbuf, data...)
-	k.enqueueReady(s)
+	s.k.enqueueReady(s)
 }
 
 // Sent ignores released: the kernel sndbuf slides by accepted bytes,
 // not by segment reclamation.
 func (ke *kernelEvents) Sent(c *tcp.Conn, acked, released int) {
-	k := ke.k()
 	s, _ := c.Cookie.(*sock)
 	if s == nil {
 		return
@@ -174,26 +181,24 @@ func (ke *kernelEvents) Sent(c *tcp.Conn, acked, released int) {
 	// data (libevent-style write events are enabled on demand).
 	if acked > 0 && len(s.sndbuf) > 0 {
 		s.sentPending += acked
-		k.enqueueReady(s)
+		s.k.enqueueReady(s)
 	}
 }
 
 func (ke *kernelEvents) RemoteClosed(c *tcp.Conn) {
-	k := ke.k()
 	s, _ := c.Cookie.(*sock)
 	if s == nil {
 		return
 	}
 	s.eofPending = true
-	k.enqueueReady(s)
+	s.k.enqueueReady(s)
 }
 
 func (ke *kernelEvents) Dead(c *tcp.Conn, reason tcp.Reason) {
-	k := ke.k()
 	s, _ := c.Cookie.(*sock)
 	if s == nil {
 		return
 	}
 	s.deadPending = true
-	k.enqueueReady(s)
+	s.k.enqueueReady(s)
 }

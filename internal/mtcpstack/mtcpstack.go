@@ -62,6 +62,9 @@ type Host struct {
 	arp    *netstack.ARPTable
 	region *mem.Region
 	cores  []*mcore
+	// missFloor is the handshake-frame miss charge (batched SYN
+	// admission), a run constant hoisted out of the poll loop.
+	missFloor time.Duration
 }
 
 // New builds an mTCP host. Attach NIC ports before Start.
@@ -76,10 +79,11 @@ func New(eng *sim.Engine, cfg Config) *Host {
 		cfg.MemPages = 512
 	}
 	h := &Host{
-		eng:    eng,
-		cfg:    cfg,
-		arp:    netstack.NewARPTable(),
-		region: mem.NewRegion(cfg.MemPages),
+		eng:       eng,
+		cfg:       cfg,
+		arp:       netstack.NewARPTable(),
+		region:    mem.NewRegion(cfg.MemPages),
+		missFloor: time.Duration(cost.MissesPerMsg(0) * float64(cfg.Cost.L3Miss)),
 	}
 	h.nic = nicsim.New(eng, cfg.MAC, nicsim.Config{
 		Queues:   cfg.Cores,
@@ -234,8 +238,14 @@ func (m *mcore) tcpRound(meter *sim.Meter) {
 			continue
 		}
 		buf.SetData(f.Data)
+		// Handshake frames charge the miss floor (batched SYN
+		// admission); see the linuxstack napiPoll note.
+		if nicsim.IsTCPSYN(f.Data) {
+			meter.Charge(c.ProtoRx + m.h.missFloor)
+		} else {
+			meter.Charge(c.ProtoRx + miss)
+		}
 		f.Release()
-		meter.Charge(c.ProtoRx + miss)
 		m.ns.Input(buf)
 		buf.Unref()
 	}

@@ -587,6 +587,29 @@ func (n *NIC) frameKey(data []byte) (wire.FlowKey, bool) {
 	}, true
 }
 
+// IsTCPSYN reports whether a raw frame is a TCP handshake segment (SYN
+// or SYN-ACK), using the same fixed-offset parse as RSS classification.
+// OS models use it to charge handshake frames the connection-working-set
+// miss floor instead of the full DDIO curve: accept-path state (listener,
+// SYN backlog, fresh PCB) is compact and stays LLC-resident across an
+// establishment burst, so a batch of SYNs amortizes the per-frame miss
+// penalty that data segments pay at large connection counts.
+func IsTCPSYN(data []byte) bool {
+	// Flags byte sits at a fixed offset: Ethernet + minimal IPv4 + 13.
+	const off = wire.EthHdrLen + wire.IPv4HdrLen + 13
+	if len(data) <= off {
+		return false
+	}
+	if uint16(data[12])<<8|uint16(data[13]) != wire.EtherTypeIPv4 {
+		return false
+	}
+	ip := data[wire.EthHdrLen:]
+	if ip[0] != 0x45 || ip[9] != wire.ProtoTCP {
+		return false
+	}
+	return data[off]&wire.TCPSyn != 0
+}
+
 // txPort selects the member port for an outgoing frame: the only port for
 // single-port NICs, otherwise by L3+L4 flow hash so each flow stays on one
 // member (mirroring the switch-side bond hash).

@@ -326,3 +326,39 @@ func TestExtractInject(t *testing.T) {
 		t.Fatalf("dest descriptors after take: %d", dst.DescAvail())
 	}
 }
+
+// TestIsTCPSYN: the fixed-offset handshake classifier recognizes SYN and
+// SYN-ACK frames and nothing else.
+func TestIsTCPSYN(t *testing.T) {
+	frame := func(proto byte, flags byte) []byte {
+		f := make([]byte, wire.EthHdrLen+wire.IPv4HdrLen+20)
+		f[12], f[13] = 0x08, 0x00 // EtherType IPv4
+		ip := f[wire.EthHdrLen:]
+		ip[0] = 0x45
+		ip[9] = proto
+		f[wire.EthHdrLen+wire.IPv4HdrLen+13] = flags
+		return f
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want bool
+	}{
+		{"syn", frame(wire.ProtoTCP, wire.TCPSyn), true},
+		{"syn-ack", frame(wire.ProtoTCP, wire.TCPSyn|wire.TCPAck), true},
+		{"pure-ack", frame(wire.ProtoTCP, wire.TCPAck), false},
+		{"data-psh", frame(wire.ProtoTCP, wire.TCPAck|wire.TCPPsh), false},
+		{"udp", frame(wire.ProtoUDP, wire.TCPSyn), false},
+		{"short", []byte{0x08, 0x00}, false},
+	}
+	for _, c := range cases {
+		if got := IsTCPSYN(c.data); got != c.want {
+			t.Errorf("%s: IsTCPSYN = %v, want %v", c.name, got, c.want)
+		}
+	}
+	nonIP := frame(wire.ProtoTCP, wire.TCPSyn)
+	nonIP[12] = 0x86 // not IPv4
+	if IsTCPSYN(nonIP) {
+		t.Error("non-IPv4 frame classified as SYN")
+	}
+}

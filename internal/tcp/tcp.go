@@ -211,6 +211,9 @@ type Stack struct {
 	DroppedNoListener uint64
 	AcceptedConns     uint64
 	ActiveOpens       uint64
+	// SynsAdmitted counts passive opens admitted through the batched
+	// SYN path (their SYN-ACKs coalesce into the batch-boundary Flush).
+	SynsAdmitted uint64
 }
 
 // NewStack builds a stack from cfg, applying defaults.
@@ -394,9 +397,12 @@ type Conn struct {
 	onDAFn   func()
 	daSegs   int // in-order segments since last ACK sent
 
-	needAck  bool
-	inAckLst bool
-	listener *Listener
+	needAck bool
+	// synAckOwed marks an admitted embryonic connection whose SYN-ACK
+	// is owed to the next Flush (batched SYN admission).
+	synAckOwed bool
+	inAckLst   bool
+	listener   *Listener
 }
 
 // Key returns the connection 4-tuple from the local perspective.
@@ -549,7 +555,12 @@ func (s *Stack) Input(src, dst wire.IPv4, seg []byte, buf *mem.Mbuf) {
 	}
 }
 
-// passiveOpen handles SYN to a listener.
+// passiveOpen handles SYN to a listener. The SYN-ACK is not emitted here
+// but owed to the next Flush — batched SYN admission: a burst of SYNs
+// arriving in one processing batch is admitted as a group, with every
+// handshake reply assembled back-to-back through the stack's shared
+// header scratch at the batch boundary (where pure ACKs already leave).
+// The retransmission timer armed here covers the reply either way.
 func (s *Stack) passiveOpen(l *Listener, key wire.FlowKey, hdr *wire.TCPHeader) {
 	if l.embryonic >= s.cfg.SynBacklog {
 		return // silently drop: SYN backlog full
@@ -566,7 +577,8 @@ func (s *Stack) passiveOpen(l *Listener, key wire.FlowKey, hdr *wire.TCPHeader) 
 	c.sndNxt = c.iss + 1
 	s.conns[key] = c
 	l.embryonic++
-	c.sendFlags(wire.TCPSyn|wire.TCPAck, c.iss, c.rcvNxt, true)
+	s.SynsAdmitted++
+	c.scheduleSynAck()
 	c.armRTO()
 }
 
@@ -1148,10 +1160,13 @@ func (c *Conn) makeHeader(seq uint32, flags uint8) wire.TCPHeader {
 	}
 }
 
-// sendFlags emits a control segment (SYN, SYN|ACK) with options.
+// sendFlags emits a control segment (SYN, SYN|ACK) with options, through
+// the stack's header scratch (emissions never nest, and a burst of
+// admitted SYNs reuses the one header across its coalesced SYN-ACKs).
 func (c *Conn) sendFlags(flags uint8, seq, ack uint32, withOpts bool) {
 	wnd := c.rcvWndAvail()
-	hdr := wire.TCPHeader{
+	hdr := &c.stack.hdr
+	*hdr = wire.TCPHeader{
 		SrcPort: c.key.SrcPort,
 		DstPort: c.key.DstPort,
 		Seq:     seq,
@@ -1174,9 +1189,19 @@ func (c *Conn) sendFlags(flags uint8, seq, ack uint32, withOpts bool) {
 		}
 		hdr.Window = uint16(w)
 	}
-	c.stack.emit(c, &hdr, nil)
+	c.stack.emit(c, hdr, nil)
 	// SYN and SYN|ACK retransmission is driven by connection state in
 	// onRTO rather than the retransmission queue.
+}
+
+// scheduleSynAck marks an admitted embryonic connection as owing its
+// SYN-ACK at the next Flush, on the same pending list pure ACKs use.
+func (c *Conn) scheduleSynAck() {
+	c.synAckOwed = true
+	if !c.inAckLst {
+		c.inAckLst = true
+		c.stack.needsAck = append(c.stack.needsAck, c)
+	}
 }
 
 // scheduleAck marks the connection as owing a pure ACK at the next Flush
@@ -1226,11 +1251,20 @@ func (c *Conn) cancelDelAck() {
 	}
 }
 
-// Flush emits pending pure ACKs. OS models call it at the end of each
-// input batch, so acknowledgment pacing follows application progress (§3).
+// Flush emits pending pure ACKs — and the SYN-ACKs of the batch's
+// admitted SYNs — at the end of each input batch, so acknowledgment
+// pacing follows application progress (§3) and handshake replies leave
+// as one coalesced group.
 func (s *Stack) Flush() {
 	for _, c := range s.needsAck {
 		c.inAckLst = false
+		if c.synAckOwed {
+			c.synAckOwed = false
+			if c.state == StateSynRcvd {
+				c.sendFlags(wire.TCPSyn|wire.TCPAck, c.iss, c.rcvNxt, true)
+			}
+			continue
+		}
 		if c.needAck && c.state != StateClosed {
 			c.needAck = false
 			c.daSegs = 0
@@ -1299,6 +1333,10 @@ func (s *Stack) Migrate(c *Conn, dst *Stack) {
 		}
 		c.inAckLst = false
 	}
+	// An owed SYN-ACK migrates with the connection (embryonic
+	// connections are not normally migrated, but the owed reply must
+	// not be lost if one is).
+	reownSynAck := c.synAckOwed
 	delete(s.conns, c.key)
 	c.stack = dst
 	dst.conns[c.key] = c
@@ -1307,7 +1345,7 @@ func (s *Stack) Migrate(c *Conn, dst *Stack) {
 		// lost RTO would hang the flow forever): re-arm defensively.
 		c.armRTO()
 	}
-	if c.needAck {
+	if c.needAck || reownSynAck {
 		c.inAckLst = true
 		dst.needsAck = append(dst.needsAck, c)
 	}

@@ -60,7 +60,7 @@ func (s *side) Sent(c *Conn, acked, released int) {
 		s.onRelease(c, released)
 	}
 }
-func (s *side) RemoteClosed(c *Conn)    { s.eof[c] = true }
+func (s *side) RemoteClosed(c *Conn) { s.eof[c] = true }
 func (s *side) Dead(c *Conn, reason Reason) {
 	s.dead[c] = reason
 }
@@ -661,5 +661,92 @@ func TestConnectionTimeout(t *testing.T) {
 	reason, died := n.a.dead[c]
 	if !died || reason != ReasonTimeout {
 		t.Fatalf("dead = %v (died=%v), want timeout", reason, died)
+	}
+}
+
+// TestBatchedSynAdmission: SYNs arriving within one processing batch are
+// admitted immediately (embryonic state, RTO armed) but their SYN-ACKs
+// coalesce into the batch-boundary Flush, leaving as one group — no
+// per-SYN emission in the middle of protocol processing.
+func TestBatchedSynAdmission(t *testing.T) {
+	n := newTestNet(t, nil)
+	if _, err := n.b.stack.Listen(80, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Three active opens queue three SYNs.
+	for i := 0; i < 3; i++ {
+		if _, err := n.a.stack.Connect(n.b.ip, 80, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syns := n.queue
+	n.queue = nil
+	if len(syns) != 3 {
+		t.Fatalf("expected 3 SYNs in flight, got %d", len(syns))
+	}
+	// Deliver the batch without flushing: admission happens, replies wait.
+	for _, d := range syns {
+		buf := d.to.pool.Alloc()
+		buf.SetData(d.seg)
+		d.to.stack.Input(d.src, d.dst, buf.Bytes(), buf)
+		buf.Unref()
+	}
+	if got := n.b.stack.SynsAdmitted; got != 3 {
+		t.Fatalf("SynsAdmitted = %d, want 3", got)
+	}
+	if len(n.queue) != 0 {
+		t.Fatalf("%d frames emitted before Flush; SYN-ACKs must coalesce at the batch boundary", len(n.queue))
+	}
+	n.b.stack.Flush()
+	if len(n.queue) != 3 {
+		t.Fatalf("Flush emitted %d frames, want 3 SYN-ACKs", len(n.queue))
+	}
+	for _, d := range n.queue {
+		var hdr wire.TCPHeader
+		if _, err := hdr.Unmarshal(d.seg); err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Flags&(wire.TCPSyn|wire.TCPAck) != wire.TCPSyn|wire.TCPAck {
+			t.Fatalf("expected SYN|ACK, got flags %#x", hdr.Flags)
+		}
+	}
+	// The handshakes still complete.
+	n.step()
+	if len(n.b.accepted) != 3 {
+		t.Fatalf("accepted %d connections, want 3", len(n.b.accepted))
+	}
+}
+
+// TestBatchedSynAdmissionAbortedBeforeFlush: an admitted SYN whose
+// connection dies within the same batch (RST) must not emit a SYN-ACK at
+// Flush.
+func TestBatchedSynAdmissionAbortedBeforeFlush(t *testing.T) {
+	n := newTestNet(t, nil)
+	if _, err := n.b.stack.Listen(80, nil); err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.a.stack.Connect(n.b.ip, 80, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := n.queue
+	n.queue = nil
+	// The client gives up before the SYN arrives: RST follows the SYN
+	// into the same delivery batch.
+	c.Abort()
+	rst := n.queue
+	n.queue = nil
+	for _, d := range append(syn, rst...) {
+		buf := d.to.pool.Alloc()
+		buf.SetData(d.seg)
+		d.to.stack.Input(d.src, d.dst, buf.Bytes(), buf)
+		buf.Unref()
+	}
+	n.b.stack.Flush()
+	if len(n.queue) != 0 {
+		t.Fatalf("Flush emitted %d frames for a dead embryonic connection, want 0", len(n.queue))
+	}
+	if got := n.b.stack.ConnCount(); got != 0 {
+		t.Fatalf("server holds %d connections, want 0", got)
 	}
 }

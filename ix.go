@@ -257,6 +257,22 @@ func RunEcho(s harness.EchoSetup) harness.EchoResult { return harness.RunEcho(s)
 // EchoSetup configures RunEcho.
 type EchoSetup = harness.EchoSetup
 
+// EchoBench is a persistent, warmed echo testbed reused across sweep
+// points: one quiet connection ramp per configuration, then delta
+// establishment (or paced-FIN teardown) between measurement windows —
+// the engine behind the full 250k-connection Fig. 4 sweep.
+type EchoBench = harness.EchoBench
+
+// NewEchoBench builds a persistent echo testbed from a setup template
+// (connection counts are chosen per MeasurePoint call).
+func NewEchoBench(s EchoSetup) *EchoBench { return harness.NewEchoBench(s) }
+
+// EchoFleet coordinates a rotation-mode echo client population across
+// sweep points (pause/drain, retarget, resume). Obtain one from
+// EchoBench.Fleet(), or attach your own via EchoClientConfig.Fleet when
+// building clusters directly.
+type EchoFleet = echo.Fleet
+
 // RunMemcached executes one memcached measurement point.
 func RunMemcached(s harness.MemcSetup) harness.MemcResult { return harness.RunMemcached(s) }
 
