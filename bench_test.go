@@ -150,6 +150,16 @@ func BenchmarkChaosFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkTenantArbiter runs the multi-tenant arbitration experiment:
+// three tenants on one shared machine, a flash crowd on the frontend,
+// and the SLO-driven arbiter reallocating cores through it.
+func BenchmarkTenantArbiter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.Tenants(benchScale)
+		reportPeak(b, r, "frontend cores", "frontend_peak_cores")
+	}
+}
+
 func reportPeak(b *testing.B, r *Result, label, metric string) {
 	b.Helper()
 	if v := r.Max(label); v > 0 {

@@ -127,8 +127,10 @@ func diffAgainst(rec *Record, path string, gated []string, budget float64) bool 
 	}
 	ok := true
 	regressed := false
-	// A gated benchmark missing from either record means the guard did
-	// not run — fail loudly rather than silently passing.
+	// A gated benchmark missing from the new run means the guard did not
+	// run — fail loudly rather than silently passing. Missing from the
+	// baseline is different: the benchmark was added this PR, so its
+	// trajectory starts with this record and gating begins next PR.
 	cur := map[string]bool{}
 	for _, b := range rec.Benchmarks {
 		cur[b.Name] = true
@@ -139,8 +141,7 @@ func diffAgainst(rec *Record, path string, gated []string, budget float64) bool 
 			ok = false
 		}
 		if _, seen := prev[g]; !seen {
-			fmt.Fprintf(os.Stderr, "benchjson: gated benchmark %s missing from %s\n", g, path)
-			ok = false
+			fmt.Fprintf(os.Stderr, "benchjson: gated benchmark %s is new (absent from %s); gating starts with the next baseline\n", g, path)
 		}
 	}
 	for _, b := range rec.Benchmarks {

@@ -148,6 +148,11 @@ type Metrics struct {
 	SumMismatches stats.Counter
 	// Latency is per-RPC round-trip time.
 	Latency *stats.Histogram
+	// Tap, when non-nil, receives a copy of every latency sample —
+	// a second, independently reset histogram, so a control loop (the
+	// multi-tenant arbiter) can read short windowed percentiles without
+	// disturbing the experiment's measurement window.
+	Tap *stats.Histogram
 	// Running gates reconnects: when false, clients wind down.
 	Running bool
 }
@@ -271,6 +276,13 @@ const (
 	connectBatch    = 64
 	connectBatchGap = 50 * time.Microsecond
 )
+
+// DefaultRampPacing exposes the default connect/retire batch pacing, so
+// harnesses sizing drain budgets can compute how long a paced teardown
+// actually takes when a ClientConfig leaves RampBatch/RampGap zero.
+func DefaultRampPacing() (batch int, gap time.Duration) {
+	return connectBatch, connectBatchGap
+}
 
 // ClientFactory returns an app.Factory generating echo load per cfg.
 func ClientFactory(cfg ClientConfig) app.Factory {
@@ -483,7 +495,11 @@ func (cl *client) OnRecv(c app.Conn, data []byte) {
 	}
 	m := cl.cfg.Metrics
 	m.Msgs.Inc()
-	m.Latency.Record(time.Duration(cl.env.Now() - st.t0))
+	rtt := time.Duration(cl.env.Now() - st.t0)
+	m.Latency.Record(rtt)
+	if m.Tap != nil {
+		m.Tap.Record(rtt)
+	}
 	if st.buf != nil && st.rxSum != st.txSum {
 		// Whole-transfer checksum over everything this connection ever
 		// sent vs received: equal iff the echoed stream is intact.

@@ -38,6 +38,11 @@ type Config struct {
 	MinRTO time.Duration
 	// Seed makes the instance deterministic.
 	Seed uint64
+	// Tenant is the isolation-accounting tag stamped on every frame
+	// pool this dataplane creates (including threads grown later), so
+	// shared fabric egress can charge this tenant's traffic separately
+	// (0 = untagged single-tenant operation).
+	Tenant int
 	// User constructs the ring-3 program for each elastic thread
 	// (libix.Program does this for applications).
 	User func(api *UserAPI, thread, threads int) UserProgram
@@ -89,6 +94,10 @@ type Dataplane struct {
 	retiredRetrans     uint64
 	retiredFastRetrans uint64
 	retiredPoolDrops   uint64
+	// Busy time carried over from revoked threads, so per-tenant cycle
+	// charges survive core revocation mid-window.
+	retiredKernelNs int64
+	retiredUserNs   int64
 }
 
 // LossTotals aggregates the loss and reordering indicators across all
@@ -173,6 +182,9 @@ func (d *Dataplane) Start() {
 
 func (d *Dataplane) spawnThread(id int) {
 	et := newElasticThread(d, id)
+	// Tag at spawn, not just at Start: threads granted later by the
+	// control plane charge the same tenant.
+	et.ns.FramePool().SetTenant(d.cfg.Tenant)
 	d.threads = append(d.threads, et)
 	et.user = d.cfg.User(et.api, id, d.cfg.Threads)
 	// Kick once so programs that queued work at construction run.
@@ -262,6 +274,8 @@ func (d *Dataplane) RemoveElasticThread() error {
 	d.retiredRetrans += t.Retransmits
 	d.retiredFastRetrans += t.FastRetransmits
 	d.retiredPoolDrops += victim.PoolDrops
+	d.retiredKernelNs += victim.KernelNs
+	d.retiredUserNs += victim.UserNs
 	victim.stopped = true
 	if victim.idleWake != nil {
 		d.eng.Cancel(victim.idleWake)
@@ -414,9 +428,14 @@ func (d *Dataplane) moveConn(src, dst *ElasticThread, c *tcp.Conn) {
 	d.FlowsMigrated++
 }
 
+// Tenant returns the dataplane's isolation-accounting tag.
+func (d *Dataplane) Tenant() int { return d.cfg.Tenant }
+
 // ResetStats zeroes measurement counters on all threads (start of a
 // measurement window).
 func (d *Dataplane) ResetStats() {
+	d.retiredKernelNs = 0
+	d.retiredUserNs = 0
 	for _, et := range d.threads {
 		et.Cycles = 0
 		et.RxPackets = 0
@@ -430,13 +449,26 @@ func (d *Dataplane) ResetStats() {
 }
 
 // CPUBreakdown reports aggregate kernel and user busy time across
-// elastic threads since ResetStats (the §5.5 kernel-time measurement).
+// elastic threads since ResetStats (the §5.5 kernel-time measurement),
+// including time retired with threads revoked mid-window — the charge
+// stays with the tenant that spent it, not with whoever holds the core
+// next.
 func (d *Dataplane) CPUBreakdown() (kernel, user time.Duration) {
+	kernel = time.Duration(d.retiredKernelNs)
+	user = time.Duration(d.retiredUserNs)
 	for _, et := range d.threads {
 		kernel += time.Duration(et.KernelNs)
 		user += time.Duration(et.UserNs)
 	}
 	return kernel, user
+}
+
+// BusyTotal is kernel plus user busy time since ResetStats (revoked
+// threads included): the cycle charge of the isolation-accounting
+// contract.
+func (d *Dataplane) BusyTotal() time.Duration {
+	k, u := d.CPUBreakdown()
+	return k + u
 }
 
 // MeanBatch returns the average adaptive batch size over the window.

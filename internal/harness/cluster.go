@@ -58,13 +58,19 @@ var (
 	_ Host = (*hostAdapter)(nil)
 )
 
-// hostAdapter wraps the concrete host types.
+// hostAdapter wraps the concrete host types. The frames/chunks closures
+// report the host's outstanding pool resources, so cluster-wide and
+// per-tenant conservation sums walk one host list instead of three
+// arch-specific ones.
 type hostAdapter struct {
-	nic   *nicsim.NIC
-	arp   *netstack.ARPTable
-	ip    wire.IPv4
-	mac   wire.MAC
-	start func()
+	nic    *nicsim.NIC
+	arp    *netstack.ARPTable
+	ip     wire.IPv4
+	mac    wire.MAC
+	start  func()
+	tenant int
+	frames func() int
+	chunks func() int
 }
 
 func (h *hostAdapter) NIC() *nicsim.NIC        { return h.nic }
@@ -93,6 +99,10 @@ type HostSpec struct {
 	// MinRTO optionally overrides the TCP retransmission-timeout floor
 	// (default 200 µs; the paper cites support for 16 µs incast floors).
 	MinRTO time.Duration
+	// Tenant tags the host's frame pools for multi-tenant isolation
+	// accounting (0 = untagged): every frame the host originates
+	// charges this tag at shared switch egress.
+	Tenant int
 }
 
 // Cluster is the experiment testbed.
@@ -156,7 +166,7 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 	}
 	c.seed = c.seed*6364136223846793005 + 1442695040888963407
 	seed := c.seed
-	var h Host
+	var h *hostAdapter
 	switch spec.Arch {
 	case ArchIX:
 		ccfg := core.Config{
@@ -169,6 +179,7 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 			Seed:       seed,
 			RcvWnd:     spec.RcvWnd,
 			MinRTO:     spec.MinRTO,
+			Tenant:     spec.Tenant,
 			User:       libix.Program(spec.Factory),
 		}
 		if spec.IXCost != nil {
@@ -176,7 +187,21 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 		}
 		dp := core.New(c.Eng, ccfg)
 		c.ixs = append(c.ixs, dp)
-		h = &hostAdapter{nic: dp.NIC(), arp: dp.ARP(), ip: ip, mac: mac, start: dp.Start}
+		h = &hostAdapter{nic: dp.NIC(), arp: dp.ARP(), ip: ip, mac: mac, start: dp.Start,
+			frames: func() int {
+				n := 0
+				for i := 0; i < dp.Threads(); i++ {
+					n += dp.Thread(i).Stack().FramePool().InUse()
+				}
+				return n
+			},
+			chunks: func() int {
+				n := 0
+				for i := 0; i < dp.Threads(); i++ {
+					n += dp.Thread(i).TxPool().InUse()
+				}
+				return n
+			}}
 	case ArchLinux:
 		lh := linuxstack.New(c.Eng, linuxstack.Config{
 			Name:    name,
@@ -188,8 +213,11 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 			RcvWnd:  spec.RcvWnd,
 			MinRTO:  spec.MinRTO,
 		})
+		lh.Stack().FramePool().SetTenant(spec.Tenant)
 		c.linuxes = append(c.linuxes, lh)
-		h = &hostAdapter{nic: lh.NIC(), arp: lh.ARP(), ip: ip, mac: mac, start: lh.Start}
+		h = &hostAdapter{nic: lh.NIC(), arp: lh.ARP(), ip: ip, mac: mac, start: lh.Start,
+			frames: func() int { return lh.Stack().FramePool().InUse() },
+			chunks: func() int { return 0 }}
 	case ArchMTCP:
 		mh := mtcpstack.New(c.Eng, mtcpstack.Config{
 			Name:    name,
@@ -201,11 +229,23 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 			RcvWnd:  spec.RcvWnd,
 			MinRTO:  spec.MinRTO,
 		})
+		for i := 0; i < mh.Cores(); i++ {
+			mh.Stack(i).FramePool().SetTenant(spec.Tenant)
+		}
 		c.mtcps = append(c.mtcps, mh)
-		h = &hostAdapter{nic: mh.NIC(), arp: mh.ARP(), ip: ip, mac: mac, start: mh.Start}
+		h = &hostAdapter{nic: mh.NIC(), arp: mh.ARP(), ip: ip, mac: mac, start: mh.Start,
+			frames: func() int {
+				n := 0
+				for i := 0; i < mh.Cores(); i++ {
+					n += mh.Stack(i).FramePool().InUse()
+				}
+				return n
+			},
+			chunks: func() int { return 0 }}
 	default:
 		panic(fmt.Sprintf("harness: unknown arch %d", spec.Arch))
 	}
+	h.tenant = spec.Tenant
 	// Cable the NIC's ports to the switch.
 	var portIdxs []int
 	var hostLinks []*fabric.Link
@@ -290,18 +330,8 @@ func (c *Cluster) EgressDrops(h Host) uint64 {
 // leaks (or double-frees, which panics in fabric) shows up here.
 func (c *Cluster) FramesInUse() int {
 	n := 0
-	for _, dp := range c.ixs {
-		for i := 0; i < dp.Threads(); i++ {
-			n += dp.Thread(i).Stack().FramePool().InUse()
-		}
-	}
-	for _, lh := range c.linuxes {
-		n += lh.Stack().FramePool().InUse()
-	}
-	for _, mh := range c.mtcps {
-		for i := 0; i < mh.Cores(); i++ {
-			n += mh.Stack(i).FramePool().InUse()
-		}
+	for _, h := range c.hosts {
+		n += h.(*hostAdapter).frames()
 	}
 	return n
 }
@@ -313,9 +343,82 @@ func (c *Cluster) FramesInUse() int {
 // arena shows up here.
 func (c *Cluster) TxChunksInUse() int {
 	n := 0
-	for _, dp := range c.ixs {
-		for i := 0; i < dp.Threads(); i++ {
-			n += dp.Thread(i).TxPool().InUse()
+	for _, h := range c.hosts {
+		n += h.(*hostAdapter).chunks()
+	}
+	return n
+}
+
+// TenantFramesInUse sums outstanding frames across the pools of hosts
+// tagged with tenant tag. Because every pool belongs to exactly one
+// host and every host carries exactly one tag, summing over all tags
+// reproduces FramesInUse exactly — the per-tenant half of the
+// conservation contract (no unattributed or double-charged frames).
+func (c *Cluster) TenantFramesInUse(tag int) int {
+	n := 0
+	for _, h := range c.hosts {
+		if a := h.(*hostAdapter); a.tenant == tag {
+			n += a.frames()
+		}
+	}
+	return n
+}
+
+// TenantTxChunksInUse is TenantFramesInUse for TX arena chunks.
+func (c *Cluster) TenantTxChunksInUse(tag int) int {
+	n := 0
+	for _, h := range c.hosts {
+		if a := h.(*hostAdapter); a.tenant == tag {
+			n += a.chunks()
+		}
+	}
+	return n
+}
+
+// MaxTenantTag returns the highest tenant tag any host carries.
+func (c *Cluster) MaxTenantTag() int {
+	max := 0
+	for _, h := range c.hosts {
+		if a := h.(*hostAdapter); a.tenant > max {
+			max = a.tenant
+		}
+	}
+	return max
+}
+
+// EgressBytes sums bytes transmitted by switch egress ports (toward
+// hosts) across the cluster — the shared-fabric byte charge.
+func (c *Cluster) EgressBytes() uint64 {
+	var n uint64
+	for _, hostLinks := range c.links {
+		for _, link := range hostLinks {
+			n += link.Port(1).TxBytes
+		}
+	}
+	return n
+}
+
+// TenantEgressBytes sums switch-egress bytes charged to tenant tag
+// across every port of the cluster: frames carry their originating
+// pool's tag across hops, so a tenant's traffic toward a *shared*
+// client host is still charged to that tenant even though the egress
+// port is shared.
+func (c *Cluster) TenantEgressBytes(tag int) uint64 {
+	var n uint64
+	for _, hostLinks := range c.links {
+		for _, link := range hostLinks {
+			n += link.Port(1).TenantTxStats(tag).Bytes
+		}
+	}
+	return n
+}
+
+// TenantEgressDrops sums switch-egress tail drops charged to tag.
+func (c *Cluster) TenantEgressDrops(tag int) uint64 {
+	var n uint64
+	for _, hostLinks := range c.links {
+		for _, link := range hostLinks {
+			n += link.Port(1).TenantTxStats(tag).Dropped
 		}
 	}
 	return n

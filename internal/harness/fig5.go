@@ -333,4 +333,8 @@ var Experiments = map[string]func(Scale) *Result{
 	// fault schedule with end-to-end invariant checks.
 	"incast": Incast,
 	"chaos":  Chaos,
+	// Multi-tenant core arbitration (§4.1 runtime policy): several IX
+	// dataplanes share one machine and an SLO-driven arbiter moves
+	// cores between them through a flash crowd.
+	"tenants": Tenants,
 }

@@ -11,9 +11,13 @@ import (
 // fixed steps and polls deterministic state, so a fixed-seed sweep is a
 // pure function of its setup.
 const (
-	// drainStep/drainBudget bound the between-points RPC drain.
+	// drainStep/drainBudget bound the between-points RPC drain;
+	// drainPerMsg extends the budget per in-flight RPC so large
+	// populations get proportionally more time (budgets are upper
+	// bounds — the poll exits as soon as the drain completes).
 	drainStep   = 100 * time.Microsecond
 	drainBudget = 20 * time.Millisecond
+	drainPerMsg = 2 * time.Microsecond
 	// establishStep paces the establishment poll; the budget scales
 	// with the point's connection delta (quiet ramps run at a few
 	// thousand conns/ms, so 4 µs/conn is several-fold slack for SYN
@@ -21,8 +25,11 @@ const (
 	establishStep    = 250 * time.Microsecond
 	establishBase    = 2 * time.Millisecond
 	establishPerConn = 4 * time.Microsecond
-	// teardownBudget bounds the wait for paced-FIN excess to clear the
-	// server's connection table.
+	// teardownBudget is the fixed floor of the wait for paced-FIN
+	// excess to clear the server's connection table; MeasurePoint adds
+	// the time the pacing itself needs for the point's excess (see
+	// teardownBudgetFor), so one big shrink cannot exhaust a budget
+	// sized for small ones.
 	teardownBudget = 50 * time.Millisecond
 	// settleRun separates establishment/teardown from the measurement
 	// window, letting handshake tails and pure-ACK exchanges quiesce.
@@ -102,6 +109,36 @@ func (b *EchoBench) runUntil(budget, step time.Duration, done func() bool) bool 
 	return done()
 }
 
+// pacingTime returns how long the fleet's own connect/retire pacing
+// needs to move `delta` connections: each thread works through batches
+// of RampBatch every RampGap, so the slowest thread takes
+// ceil(perThread/batch) gaps. This is the floor any establishment or
+// teardown budget must sit above.
+func (b *EchoBench) pacingTime(delta int) time.Duration {
+	batch, gap := b.setup.RampBatch, b.setup.RampGap
+	db, dg := echo.DefaultRampPacing()
+	if batch <= 0 {
+		batch = db
+	}
+	if gap <= 0 {
+		gap = dg
+	}
+	perThread := (delta + b.threads - 1) / b.threads
+	steps := (perThread + batch - 1) / batch
+	return time.Duration(steps) * gap
+}
+
+// teardownBudgetFor sizes the paced-FIN wait for one point's shrink of
+// `excess` connections: the time the retire pacing itself needs plus
+// the fixed teardownBudget floor for FIN-handshake completion. The
+// budget used to be the bare constant shared by every sweep point, so a
+// single large shrink — or a sweep configured with slow pacing — could
+// run out of time and leak its excess into the next point's
+// measurement.
+func (b *EchoBench) teardownBudgetFor(excess int) time.Duration {
+	return teardownBudget + b.pacingTime(excess)
+}
+
 // pointSeed is the per-point seed schedule: a splitmix64 scramble of the
 // cluster seed and the point ordinal. Every per-point random draw (e.g.
 // verify-mode patterns) descends from it, never from sweep history.
@@ -131,26 +168,31 @@ func (b *EchoBench) MeasurePoint(total, outstanding int, window time.Duration) E
 	}
 	target := per * b.threads
 
-	// Quiesce: no new RPCs, in-flight ones complete.
+	// Quiesce: no new RPCs, in-flight ones complete. The budget is
+	// per-point — proportional to this point's in-flight population,
+	// floored at the fixed constant — so a deep rotation at one sweep
+	// point cannot consume slack that later points rely on.
 	b.fleet.Pause()
-	b.runUntil(drainBudget, drainStep, func() bool { return b.fleet.InFlight() == 0 })
+	db := drainBudget + time.Duration(b.fleet.InFlight())*drainPerMsg
+	b.runUntil(db, drainStep, func() bool { return b.fleet.InFlight() == 0 })
 
 	// Move the population: delta establishment or paced-FIN teardown.
 	b.point++
-	shrink := b.fleet.Open() > target
-	delta := target - b.fleet.Open()
+	prevOpen := b.fleet.Open()
+	shrink := prevOpen > target
+	delta := target - prevOpen
 	if delta < 0 {
 		delta = -delta
 	}
 	b.fleet.Retarget(per, out, pointSeed(b.setup.Seed, b.point))
-	budget := establishBase + time.Duration(delta)*establishPerConn
+	budget := establishBase + time.Duration(delta)*establishPerConn + b.pacingTime(delta)
 	b.runUntil(budget, establishStep, func() bool {
 		return b.fleet.Open() >= target && b.fleet.Pending() == 0
 	})
 	if shrink {
 		// The ring shrank immediately; wait for the FIN handshakes to
 		// clear the server's connection table too.
-		b.runUntil(teardownBudget, establishStep, func() bool {
+		b.runUntil(b.teardownBudgetFor(delta), establishStep, func() bool {
 			return echoServerConns(b.cl, b.setup.ServerArch) <= target
 		})
 	}

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPerPointTeardownBudget: the drain/teardown budgets of a persistent
+// sweep are per-point, sized from the point's own delta and the fleet's
+// configured pacing. With tiny batches and a slow gap, retiring the
+// excess of a large shrink takes ~78 ms of pacing alone — more than the
+// old fixed 50 ms budget shared by every point, which left the excess
+// connections alive into the next point's measurement.
+func TestPerPointTeardownBudget(t *testing.T) {
+	b := NewEchoBench(EchoSetup{
+		ServerArch: ArchIX, ServerCores: 2,
+		ClientArch: ArchLinux, ClientHosts: 1, ClientCores: 2,
+		MsgSize: 64, RampBatch: 1, RampGap: 2 * time.Millisecond,
+		Seed: 7,
+	})
+	defer b.Stop()
+
+	grow := b.MeasurePoint(80, 2, time.Millisecond)
+	if grow.ServerConns != 80 {
+		t.Fatalf("slow-paced establishment reached %d server conns, want 80", grow.ServerConns)
+	}
+	// Shrink 80 -> 2: 39 retire steps per thread at 2 ms each.
+	res := b.MeasurePoint(2, 2, time.Millisecond)
+	if res.ServerConns > 2 {
+		t.Errorf("per-point teardown budget too small: %d server connections survived the shrink, want 2",
+			res.ServerConns)
+	}
+}

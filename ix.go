@@ -238,8 +238,61 @@ type (
 // in verify mode.
 func RunChaos(s ChaosSetup) ChaosResult { return harness.RunChaos(s) }
 
+// Multi-tenant arbitration (§4.1's runtime policy for allocating cores
+// across several dataplanes on one machine): tenant specs, the
+// SLO-driven core arbiter, and the shared-machine testbed.
+type (
+	// Arbiter moves cores between dataplanes by SLO.
+	Arbiter = cp.Arbiter
+	// ArbiterPolicy is the decision cadence and hysteresis.
+	ArbiterPolicy = cp.ArbiterPolicy
+	// ArbiterMember is one arbitrated dataplane with its probes.
+	ArbiterMember = cp.Member
+	// ArbiterMove records one core reallocation.
+	ArbiterMove = cp.Move
+	// ArbiterSample is one member's telemetry at one decision.
+	ArbiterSample = cp.MemberSample
+
+	// TenantApp selects a tenant's application mix.
+	TenantApp = harness.TenantApp
+	// SLOSpec is a tenant's latency contract.
+	SLOSpec = harness.SLOSpec
+	// TenantSpec describes one tenant of a shared machine.
+	TenantSpec = harness.TenantSpec
+	// Tenant is one running tenant.
+	Tenant = harness.Tenant
+	// TenantUsage is a tenant's isolation-accounting charge sheet.
+	TenantUsage = harness.TenantUsage
+	// TenantsSetup configures a multi-tenant testbed.
+	TenantsSetup = harness.TenantsSetup
+	// TenantCluster is a running multi-tenant testbed.
+	TenantCluster = harness.TenantCluster
+)
+
+// Tenant application kinds.
+const (
+	TenantEcho   = harness.TenantEcho
+	TenantMemc   = harness.TenantMemc
+	TenantIncast = harness.TenantIncast
+)
+
+// DefaultArbiterPolicy returns the default arbitration cadence and
+// hysteresis.
+func DefaultArbiterPolicy() ArbiterPolicy { return cp.DefaultArbiterPolicy() }
+
+// NewArbiter builds a cluster-level core arbiter over members sharing
+// budget cores.
+func NewArbiter(eng *sim.Engine, pol ArbiterPolicy, budget int, members ...*ArbiterMember) *Arbiter {
+	return cp.NewArbiter(eng, pol, budget, members...)
+}
+
+// BuildTenants assembles and starts a multi-tenant testbed: one
+// dataplane per tenant on a shared-core machine, a shared client fleet,
+// and the arbiter.
+func BuildTenants(s TenantsSetup) *TenantCluster { return harness.BuildTenants(s) }
+
 // Experiments maps experiment names (fig2, fig3a, fig3b, fig3c, fig4,
-// fig5, fig6, table2, elastic, incast, chaos) to their runners.
+// fig5, fig6, table2, elastic, incast, chaos, tenants) to their runners.
 var Experiments = harness.Experiments
 
 // RunExperiment regenerates one paper figure/table at the given scale.
