@@ -1,0 +1,129 @@
+// ixvet is the repository's invariant checker: a vet-compatible
+// multichecker over the three ixvet analyzer families
+// (determinism, ownership, hotpath — see internal/analysis and the
+// "Static invariant enforcement" section of DESIGN.md).
+//
+// It speaks the `go vet -vettool` protocol, so the canonical invocation
+// is:
+//
+//	go build -o ixvet ./cmd/ixvet
+//	go vet -vettool=$PWD/ixvet ./...
+//
+// As a convenience, invoking it with package patterns re-execs `go vet
+// -vettool=<self>` so `ixvet ./...` does the same thing.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"ix/internal/analysis"
+	"ix/internal/analysis/determinism"
+	"ix/internal/analysis/hotpath"
+	"ix/internal/analysis/ownership"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		ownership.Analyzer,
+		hotpath.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch {
+	case args[0] == "-V=full" || args[0] == "--V=full":
+		// Build-tool handshake: cmd/go derives the cache key for vet
+		// results from this line, so it must change when the binary does.
+		fmt.Printf("ixvet version devel buildID=%s\n", selfID())
+		return
+	case args[0] == "-flags" || args[0] == "--flags":
+		// cmd/go queries the tool's flags; ixvet's analyzers are always
+		// all enabled and take no flags.
+		fmt.Println("[]")
+		return
+	case args[0] == "help" || args[0] == "-h" || args[0] == "-help" || args[0] == "--help":
+		usage()
+		return
+	case strings.HasSuffix(args[len(args)-1], ".cfg"):
+		// Invoked by go vet on one compilation unit.
+		os.Exit(analysis.RunUnit(args[len(args)-1], analyzers()))
+	default:
+		// Package patterns: re-exec through go vet so package loading,
+		// export data and caching are the build system's problem.
+		self, err := os.Executable()
+		if err == nil {
+			self, err = filepath.Abs(self)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ixvet: locating own binary: %v\n", err)
+			os.Exit(2)
+		}
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.Stdin = os.Stdin
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fmt.Fprintf(os.Stderr, "ixvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ixvet proves the simulator's invariants at build time.
+
+Usage:
+	go vet -vettool=/path/to/ixvet ./...   # canonical (CI) form
+	ixvet ./...                            # convenience re-exec of the above
+
+Analyzers:
+`)
+	for _, a := range analyzers() {
+		fmt.Fprintf(os.Stderr, "	%-12s %s\n", a.Name, firstLine(a.Doc))
+	}
+	fmt.Fprintf(os.Stderr, `
+Suppress a finding with an adjacent comment, reason mandatory:
+	//ixvet:ignore(<analyzer>) <reason>
+`)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// selfID hashes the executable so vet's result cache invalidates when
+// the checker changes.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}

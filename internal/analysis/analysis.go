@@ -1,0 +1,127 @@
+// Package analysis is a dependency-free miniature of golang.org/x/tools'
+// go/analysis framework: just enough Analyzer/Pass/Diagnostic machinery to
+// host the ixvet invariant checkers (determinism, ownership, hotpath) and
+// drive them from `go vet -vettool=ixvet` without pulling a module the
+// build environment does not vendor.
+//
+// The deliberate differences from the real framework:
+//
+//   - No facts, no Requires DAG, no result passing: every ixvet analyzer
+//     is a self-contained intra-package (mostly intra-function) pass.
+//   - Suppressions are first-class. A diagnostic on line L is dropped iff
+//     line L or line L-1 carries `//ixvet:ignore(<analyzer>) <reason>`;
+//     dropped diagnostics are counted per analyzer so CI can report
+//     suppression growth. Malformed suppressions (missing reason, unknown
+//     analyzer name) are themselves diagnostics and cannot be suppressed.
+//   - Test files (*_test.go) are excluded: the invariants bind the
+//     simulator proper, and tests legitimately use wall clocks, ad-hoc
+//     goroutines and unordered iteration for assertions.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// //ixvet:ignore(<name>) suppression grammar.
+	Name string
+	// Doc is a one-paragraph statement of the contract the analyzer
+	// enforces.
+	Doc string
+	// Run inspects the package held by pass and reports violations
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass holds one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	suppress *suppressionIndex
+	report   func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos unless an in-scope
+// //ixvet:ignore(<analyzer>) suppression covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppress != nil && p.suppress.covers(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file sits in a *_test.go source file,
+// which the ixvet contracts exclude.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Result aggregates one package's analysis outcome.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Suppressed counts dropped diagnostics per analyzer name.
+	Suppressed map[string]int
+	// SuppressionSites is the number of well-formed //ixvet:ignore
+	// comments present in the package (whether or not they fired), the
+	// figure CI tracks for suppression growth.
+	SuppressionSites int
+}
+
+// RunAnalyzers executes the analyzers over one type-checked package and
+// returns position-sorted diagnostics. Malformed //ixvet:ignore comments
+// are reported under the pseudo-analyzer name "ixvet".
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) (*Result, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	idx, malformed := indexSuppressions(fset, files, known)
+
+	res := &Result{Suppressed: make(map[string]int)}
+	res.Diagnostics = append(res.Diagnostics, malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			suppress:  idx,
+			report: func(d Diagnostic) {
+				res.Diagnostics = append(res.Diagnostics, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	for name, n := range idx.used {
+		res.Suppressed[name] = n
+	}
+	res.SuppressionSites = idx.sites
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		if res.Diagnostics[i].Pos != res.Diagnostics[j].Pos {
+			return res.Diagnostics[i].Pos < res.Diagnostics[j].Pos
+		}
+		return res.Diagnostics[i].Analyzer < res.Diagnostics[j].Analyzer
+	})
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// touchy reports one diagnostic per ExprStmt, giving the suppression
+// machinery something to bite on.
+var touchy = &Analyzer{
+	Name: "touchy",
+	Doc:  "reports every expression statement (test analyzer)",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if es, ok := n.(*ast.ExprStmt); ok {
+					pass.Reportf(es.Pos(), "expression statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runOnSource(t *testing.T, src string) *Result {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewTypesInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAnalyzers(fset, []*ast.File{f}, pkg, info, []*Analyzer{touchy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSuppressionSameLineAndLineAbove(t *testing.T) {
+	res := runOnSource(t, `package p
+func f() {}
+func g() {
+	f() //ixvet:ignore(touchy) trailing-comment form
+	//ixvet:ignore(touchy) comment-above form
+	f()
+	f()
+}
+`)
+	if n := len(res.Diagnostics); n != 1 {
+		t.Fatalf("want exactly the unsuppressed diagnostic, got %d: %v", n, res.Diagnostics)
+	}
+	if res.Suppressed["touchy"] != 2 {
+		t.Fatalf("want 2 suppressed, got %v", res.Suppressed)
+	}
+	if res.SuppressionSites != 2 {
+		t.Fatalf("want 2 suppression sites, got %d", res.SuppressionSites)
+	}
+}
+
+func TestMalformedSuppressionsAreDiagnostics(t *testing.T) {
+	res := runOnSource(t, `package p
+func f() {}
+func g() {
+	f() //ixvet:ignore(touchy)
+	f() //ixvet:ignore(nosuch) typo'd analyzer name
+	f() //ixvet:ignore missing parens
+}
+`)
+	var msgs []string
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "ixvet" {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("want 3 malformed-suppression diagnostics, got %d: %v", len(msgs), msgs)
+	}
+	for want, frag := range map[string]string{
+		"missing reason":   "needs a reason",
+		"unknown analyzer": "unknown analyzer",
+		"missing parens":   "needs an analyzer list",
+	} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic for %s (fragment %q) in %v", want, frag, msgs)
+		}
+	}
+	// A malformed suppression must not suppress: all three f() calls
+	// still get the touchy diagnostic.
+	touchyCount := 0
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "touchy" {
+			touchyCount++
+		}
+	}
+	if touchyCount != 3 {
+		t.Fatalf("malformed suppressions must not suppress; want 3 touchy diagnostics, got %d", touchyCount)
+	}
+	if res.SuppressionSites != 0 {
+		t.Fatalf("malformed comments are not suppression sites, got %d", res.SuppressionSites)
+	}
+}

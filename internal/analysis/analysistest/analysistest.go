@@ -1,0 +1,203 @@
+// Package analysistest is a self-contained miniature of x/tools'
+// analysistest: it loads a GOPATH-style testdata tree
+// (testdata/src/<pkg>/*.go), type-checks it against sibling testdata
+// packages and the standard library, runs one analyzer, and compares
+// the diagnostics against `// want` expectations.
+//
+// Expectation grammar, on the offending line:
+//
+//	code() // want "regexp" "second regexp"
+//
+// Every diagnostic on a line must match one unconsumed want on that
+// line and vice versa. Suppression comments (//ixvet:ignore) are active
+// exactly as in production, so a green case can demonstrate them.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ix/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> relative to the test's working
+// directory, applies the analyzer, and reports mismatches via t.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(root)
+	lp, err := l.load(pkg)
+	if err != nil {
+		t.Fatalf("loading testdata package %s: %v", pkg, err)
+	}
+	res, err := analysis.RunAnalyzers(l.fset, lp.files, lp.pkg, lp.info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkExpectations(t, l.fset, lp.files, res.Diagnostics)
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*loadedPkg
+	std  types.Importer
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		root: root,
+		pkgs: make(map[string]*loadedPkg),
+		// The source importer compiles stdlib dependencies from GOROOT
+		// source: no export data needed, works offline.
+		std: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer: sibling testdata packages first,
+// then the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp.pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.root, path)); err == nil && fi.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	dir := filepath.Join(l.root, path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+var wantRE = regexp.MustCompile(`//[ \t]*want[ \t]+(.*)$`)
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+					var pat string
+					if arg[0] == '`' {
+						pat = arg[1 : len(arg)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(arg)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, arg, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}

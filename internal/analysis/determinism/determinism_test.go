@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"ix/internal/analysis/analysistest"
+	"ix/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "sim")
+}
+
+func TestOutOfScopePackagesIgnored(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "outofscope")
+}

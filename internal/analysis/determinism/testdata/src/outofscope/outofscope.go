@@ -1,0 +1,14 @@
+// Package outofscope is not sim-visible: the determinism analyzer must
+// stay silent here even on otherwise-red patterns (tooling and offline
+// analysis code may use wall clocks freely).
+package outofscope
+
+import "time"
+
+func wallClockIsFine() time.Time { return time.Now() }
+
+func unorderedIsFine(m map[string]int, out func(string, int)) {
+	for k, v := range m {
+		out(k, v)
+	}
+}

@@ -1,0 +1,154 @@
+// Package sim is determinism-analyzer test fixture: its bare import
+// path starts with a sim-visible component, so the analyzer treats it
+// exactly like ix/internal/sim.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type engine struct {
+	rng   *rand.Rand
+	now   int64
+	state map[string]int
+}
+
+// --- red: wall clock ---
+
+func wallClock(e *engine) time.Duration {
+	t0 := time.Now()             // want `time\.Now in sim-visible package`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in sim-visible package`
+	return time.Since(t0)        // want `time\.Since in sim-visible package`
+}
+
+// --- red: global PRNG ---
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn in sim-visible package`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle in sim-visible package`
+}
+
+// --- green: engine-owned seeded PRNG (the sanctioned idiom) ---
+
+func seeded(seed int64) *engine {
+	return &engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (e *engine) draw() int { return e.rng.Intn(10) }
+
+// --- red: goroutines ---
+
+func spawn(f func()) {
+	go f() // want `go statement in sim-visible package`
+}
+
+// --- red: order-dependent map iteration ---
+
+func emit(e *engine, out func(string, int)) {
+	for k, v := range e.state { // want `map iteration order is randomized`
+		out(k, v)
+	}
+}
+
+func firstKey(e *engine) string {
+	for k := range e.state { // want `map iteration order is randomized`
+		return k
+	}
+	return ""
+}
+
+func appendNoSort(e *engine) []string {
+	var ks []string
+	for k := range e.state { // want `map iteration order is randomized`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// --- green: sorted-key idiom ---
+
+func emitSorted(e *engine, out func(string, int)) {
+	ks := make([]string, 0, len(e.state))
+	for k := range e.state {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		out(k, e.state[k])
+	}
+}
+
+// --- green: commutative bodies ---
+
+func tally(e *engine) (n, sum int) {
+	for _, v := range e.state {
+		n++
+		sum += v
+	}
+	return
+}
+
+func flags(m map[int]uint64) uint64 {
+	var acc uint64
+	for _, v := range m {
+		acc |= v
+	}
+	return acc
+}
+
+func filterCount(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		if v == 0 {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func invert(m map[string]int) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for _, v := range m {
+		out[v] = true // value-keyed: may collide, but same value written
+	}
+	return out
+}
+
+func regroup(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2 // distinct-key insert keyed by the range key
+	}
+	return out
+}
+
+func drop(m map[string]int, dead map[string]bool) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+// --- red: string accumulation is not commutative ---
+
+func concat(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want `map iteration order is randomized`
+		s += v
+	}
+	return s
+}
+
+// --- green: suppression with a reason ---
+
+func suppressed(e *engine, sink func(int)) {
+	//ixvet:ignore(determinism) fixture: demonstrates the suppression grammar in a green test
+	for _, v := range e.state {
+		sink(v)
+	}
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"ix/internal/analysis/analysistest"
+	"ix/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "hp")
+}

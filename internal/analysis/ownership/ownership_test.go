@@ -1,0 +1,12 @@
+package ownership_test
+
+import (
+	"testing"
+
+	"ix/internal/analysis/analysistest"
+	"ix/internal/analysis/ownership"
+)
+
+func TestOwnership(t *testing.T) {
+	analysistest.Run(t, ownership.Analyzer, "a")
+}

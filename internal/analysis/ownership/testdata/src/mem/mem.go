@@ -1,0 +1,14 @@
+// Package mem is an ownership-analyzer fixture mirroring the real
+// ix/internal/mem TxChunk surface.
+package mem
+
+type TxChunk struct {
+	used int
+}
+
+func (k *TxChunk) Release()            {}
+func (k *TxChunk) Append(b []byte) int { return len(b) }
+
+type TxChunkPool struct{}
+
+func (p *TxChunkPool) Alloc() *TxChunk { return &TxChunk{} }

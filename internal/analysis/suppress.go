@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression grammar:
+//
+//	//ixvet:ignore(<analyzer>[,<analyzer>...]) <reason>
+//
+// The comment suppresses the named analyzers' diagnostics on its own line
+// (trailing comment) and on the line directly below (comment-above-
+// statement). The reason is mandatory: a suppression that does not say
+// why it exists is a diagnostic, not a shield. Unknown analyzer names are
+// likewise diagnosed, so a typo cannot silently disable nothing.
+var ignoreRE = regexp.MustCompile(`^//ixvet:ignore(?:\(([^)]*)\))?[ \t]*(.*)$`)
+
+type suppressionIndex struct {
+	// byLine maps file name → line of the ignore comment → analyzer names.
+	byLine map[string]map[int][]string
+	used   map[string]int
+	sites  int
+}
+
+// indexSuppressions scans file comments for the ixvet:ignore grammar.
+// Well-formed suppressions land in the index; malformed ones come back as
+// diagnostics attributed to the pseudo-analyzer "ixvet".
+func indexSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) (*suppressionIndex, []Diagnostic) {
+	idx := &suppressionIndex{
+		byLine: make(map[string]map[int][]string),
+		used:   make(map[string]int),
+	}
+	var malformed []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		malformed = append(malformed, Diagnostic{Pos: pos, Analyzer: "ixvet", Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//ixvet:") {
+					continue
+				}
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil || !strings.HasPrefix(c.Text, "//ixvet:ignore") {
+					bad(c.Pos(), "unrecognized //ixvet: directive (want //ixvet:ignore(<analyzer>) <reason>)")
+					continue
+				}
+				names, reason := m[1], strings.TrimSpace(m[2])
+				if names == "" {
+					bad(c.Pos(), "ixvet:ignore needs an analyzer list: //ixvet:ignore(<analyzer>) <reason>")
+					continue
+				}
+				if reason == "" {
+					bad(c.Pos(), "ixvet:ignore(%s) needs a reason", names)
+					continue
+				}
+				var list []string
+				ok := true
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if !known[n] {
+						bad(c.Pos(), "ixvet:ignore names unknown analyzer %q", n)
+						ok = false
+						continue
+					}
+					list = append(list, n)
+				}
+				if !ok || len(list) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], list...)
+				idx.sites++
+			}
+		}
+	}
+	return idx, malformed
+}
+
+// covers reports whether a suppression for analyzer name is in scope at
+// pos, counting the hit when it is.
+func (idx *suppressionIndex) covers(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	lines := idx.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{p.Line, p.Line - 1} {
+		for _, n := range lines[l] {
+			if n == name {
+				idx.used[name]++
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// unitConfig mirrors the JSON compilation-unit description `go vet`
+// hands to a -vettool (the unpublished vet command-line protocol, the
+// same struct x/tools' unitchecker reads). Only the fields ixvet uses
+// are declared; the decoder ignores the rest.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single compilation unit described by cfgFile and
+// returns the process exit code: 0 clean, 1 diagnostics reported, 2
+// operational failure. Diagnostics go to stderr in the standard
+// file:line:col format `go vet` relays.
+func RunUnit(cfgFile string, analyzers []*Analyzer) int {
+	cfg, err := readUnitConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ixvet: %v\n", err)
+		return 2
+	}
+	// ixvet analyzers export no facts, but go vet schedules dependency
+	// units for fact generation and expects the output file to exist.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "ixvet: writing facts: %v\n", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			writeVetx()
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "ixvet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  unitImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		writeVetx()
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ixvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	res, err := RunAnalyzers(fset, files, pkg, info, analyzers)
+	writeVetx()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ixvet: %v\n", err)
+		return 2
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if res.SuppressionSites > 0 {
+		fmt.Fprintf(os.Stderr, "ixvet: %s: %d //ixvet:ignore suppression(s) present\n", cfg.ImportPath, res.SuppressionSites)
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers may
+// consult populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+func readUnitConfig(name string) (*unitConfig, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("decoding %s: %v", name, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package %s has no files", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// unitImporter resolves imports through the export-data files the build
+// already produced (cfg.PackageFile), exactly as cmd/vet's unitchecker
+// does, so type-checking a unit never re-compiles dependencies.
+func unitImporter(cfg *unitConfig, fset *token.FileSet) types.Importer {
+	gc := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return gc.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

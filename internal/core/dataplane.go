@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"ix/internal/cost"
@@ -98,6 +99,11 @@ type Dataplane struct {
 	// charges survive core revocation mid-window.
 	retiredKernelNs int64
 	retiredUserNs   int64
+
+	// timerSeq numbers user-timer registrations dataplane-wide so
+	// re-homing can replay them in registration order (wheel slots fire
+	// in insertion order, so transfer order is sim-visible).
+	timerSeq uint64
 }
 
 // LossTotals aggregates the loss and reordering indicators across all
@@ -399,8 +405,16 @@ func (d *Dataplane) migrateResidual(src *ElasticThread) {
 // dst's, preserving deadlines. The timer records carry their owning
 // thread, so the EvTimer condition fires in dst's user phase.
 func (d *Dataplane) rehomeUserTimers(src, dst *ElasticThread) {
-	moved := false
+	// Timers sharing a wheel slot fire in insertion order, so the
+	// transfer sequence is sim-visible: walk the set in registration
+	// order, never map-iteration order (found by ixvet/determinism).
+	uts := make([]*userTimer, 0, len(src.userTimers))
 	for ut := range src.userTimers {
+		uts = append(uts, ut)
+	}
+	sort.Slice(uts, func(i, j int) bool { return uts[i].seq < uts[j].seq })
+	moved := false
+	for _, ut := range uts {
 		delete(src.userTimers, ut)
 		if !src.wheel.Transfer(ut.t, dst.wheel) {
 			continue

@@ -566,6 +566,9 @@ type userTimer struct {
 	et *ElasticThread
 	fn func()
 	t  *timerwheel.Timer
+	// seq is the dataplane-wide registration number; re-homing replays
+	// timers in seq order so same-slot timers keep their firing order.
+	seq uint64
 }
 
 // fire runs in wheel context (cycle step 5) on whatever thread currently
@@ -582,7 +585,8 @@ func (ut *userTimer) fire() {
 func (u *UserAPI) After(d time.Duration, fn func()) {
 	et := u.et
 	deadline := int64(et.dp.eng.Now()) + int64(d)
-	ut := &userTimer{et: et, fn: fn}
+	et.dp.timerSeq++
+	ut := &userTimer{et: et, fn: fn, seq: et.dp.timerSeq}
 	ut.t = et.wheel.Add(deadline, ut.fire)
 	et.userTimers[ut] = struct{}{}
 	if u.meter == nil {

@@ -158,6 +158,8 @@ func (in *Injector) Stats() Stats { return in.stats }
 // Deliver implements fabric.Endpoint. With no impairment configured this
 // is a tail call into the wrapped endpoint: no branch draws from the
 // PRNG and nothing allocates.
+//
+//ix:hotpath
 func (in *Injector) Deliver(f *fabric.Frame) {
 	if !in.on {
 		in.inner.Deliver(f)

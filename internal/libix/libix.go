@@ -114,6 +114,8 @@ var _ app.Conn = (*conn)(nil)
 // the pending-send limit (or an exhausted chunk pool) are dropped and
 // reported short, pushing the buffering decision back to the
 // application; only accepted bytes are charged.
+//
+//ix:hotpath
 func (c *conn) Send(b []byte) int {
 	if c.closed {
 		return 0
@@ -149,6 +151,8 @@ func (c *conn) Send(b []byte) int {
 // small messages coalesce into single scatter-gather entries. The
 // merged entry keeps the chunk-extending capacity TxChunk.Append hands
 // out, so any number of consecutive views coalesce, not just pairs.
+//
+//ix:hotpath
 func (c *conn) pushTx(v []byte) {
 	if n := len(c.txq); n > c.txHead {
 		tail := c.txq[n-1]
@@ -190,6 +194,7 @@ func (c *conn) Cookie() any { return c.cookie }
 // SetCookie tags the connection.
 func (c *conn) SetCookie(v any) { c.cookie = v }
 
+//ix:hotpath
 func (c *conn) markDirty() {
 	if !c.inDirty {
 		c.inDirty = true

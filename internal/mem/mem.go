@@ -91,8 +91,11 @@ func (m *Mbuf) Bytes() []byte { return m.buf[m.off : m.off+m.len] }
 
 // SetData copies b into the buffer body (after headroom) and sets the
 // length. It panics if b exceeds the buffer capacity.
+//
+//ix:hotpath
 func (m *Mbuf) SetData(b []byte) {
 	if len(b) > MbufSize-MbufHeadroom {
+		//ixvet:ignore(hotpath) panic path: an oversized frame is a stack bug, never steady state
 		panic(fmt.Sprintf("mem: frame of %d bytes exceeds mbuf capacity", len(b)))
 	}
 	m.off = MbufHeadroom
@@ -101,6 +104,8 @@ func (m *Mbuf) SetData(b []byte) {
 
 // Append extends the valid data with b and returns the number of bytes
 // appended (bounded by remaining capacity).
+//
+//ix:hotpath
 func (m *Mbuf) Append(b []byte) int {
 	n := copy(m.buf[m.off+m.len:], b)
 	m.len += n
@@ -138,6 +143,8 @@ func (m *Mbuf) Ref() { m.refs++ }
 // Unref drops a reference, returning the buffer to its pool when the
 // count reaches zero. Unref of an already-free buffer panics: it is the
 // moral equivalent of a double free.
+//
+//ix:hotpath
 func (m *Mbuf) Unref() {
 	if m.refs <= 0 {
 		panic("mem: mbuf double free")
@@ -179,6 +186,8 @@ func NewMbufPool(region *Region, owner int) *MbufPool {
 // Alloc returns a reset mbuf with one reference, or nil if the region is
 // exhausted (the caller drops the packet, as real IX drops when a pool
 // runs dry).
+//
+//ix:hotpath
 func (p *MbufPool) Alloc() *Mbuf {
 	var m *Mbuf
 	if n := len(p.free); n > 0 {
@@ -195,6 +204,7 @@ func (p *MbufPool) Alloc() *Mbuf {
 			p.allocated += mbufsPerPage
 		}
 		p.spare--
+		//ixvet:ignore(hotpath) lazy materialization: amortized over the page, steady state hits the free list
 		m = &Mbuf{pool: p, Owner: p.Owner}
 	}
 	m.Reset()
@@ -205,6 +215,7 @@ func (p *MbufPool) Alloc() *Mbuf {
 	return m
 }
 
+//ix:hotpath
 func (p *MbufPool) put(m *Mbuf) {
 	p.inUse--
 	p.Frees++

@@ -43,6 +43,8 @@ func (k *TxChunk) Room() int { return TxChunkSize - k.used }
 // cursor passes it. The view's capacity deliberately extends to the
 // chunk end so a later contiguous append can be merged into it by
 // reslicing; callers must never grow the view themselves.
+//
+//ix:hotpath
 func (k *TxChunk) Append(b []byte) []byte {
 	n := copy(k.buf[k.used:], b)
 	v := k.buf[k.used : k.used+n]
@@ -56,6 +58,8 @@ func (k *TxChunk) Reset() { k.used = 0 }
 
 // Release returns the chunk to its pool. Only legal when no live
 // reference to the chunk's bytes remains.
+//
+//ix:hotpath
 func (k *TxChunk) Release() {
 	k.used = 0
 	k.pool.put(k)
@@ -87,6 +91,8 @@ func NewTxChunkPool(region *Region, owner int) *TxChunkPool {
 
 // Alloc returns an empty chunk, or nil if the region is exhausted (the
 // caller accepts fewer bytes, pushing buffering back to the app).
+//
+//ix:hotpath
 func (p *TxChunkPool) Alloc() *TxChunk {
 	var k *TxChunk
 	if n := len(p.free); n > 0 {
@@ -103,6 +109,7 @@ func (p *TxChunkPool) Alloc() *TxChunk {
 			p.allocated += txChunksPerPage
 		}
 		p.spare--
+		//ixvet:ignore(hotpath) lazy materialization: amortized over the page, steady state hits the free list
 		k = &TxChunk{pool: p}
 	}
 	k.used = 0
@@ -111,6 +118,7 @@ func (p *TxChunkPool) Alloc() *TxChunk {
 	return k
 }
 
+//ix:hotpath
 func (p *TxChunkPool) put(k *TxChunk) {
 	p.inUse--
 	p.Frees++
@@ -153,6 +161,8 @@ func (a *TxArena) Chunks() int { return len(a.chunks) - a.head }
 // Release passes them. A shorter-than-b view means the write chunk
 // filled — call again with the remainder. An empty view means the pool
 // is exhausted.
+//
+//ix:hotpath
 func (a *TxArena) Append(b []byte) []byte {
 	if len(b) == 0 {
 		return nil
@@ -178,6 +188,8 @@ func (a *TxArena) Append(b []byte) []byte {
 // pool; the write chunk is released too once every appended byte is
 // acknowledged (the request-response steady state), so idle connections
 // pin no chunks.
+//
+//ix:hotpath
 func (a *TxArena) Release(n int) {
 	if n <= 0 {
 		return

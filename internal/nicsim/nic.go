@@ -87,6 +87,8 @@ func (q *RxQueue) DescAvail() int { return q.descAvail }
 // PostDescriptors replenishes n receive descriptors (bounded by ring
 // size). Each call models one PCIe doorbell write; the caller charges its
 // cost. Returns the number actually posted.
+//
+//ix:hotpath
 func (q *RxQueue) PostDescriptors(n int) int {
 	room := q.ringSize - q.descAvail - q.Len()
 	if n > room {
@@ -103,6 +105,8 @@ func (q *RxQueue) PostDescriptors(n int) int {
 // slice aliases the ring storage and is valid only until the next frame
 // arrival: consumers process (and Release) the batch synchronously within
 // the same simulation event.
+//
+//ix:hotpath
 func (q *RxQueue) Take(n int) []*fabric.Frame {
 	if avail := q.Len(); n > avail {
 		n = avail
@@ -137,6 +141,8 @@ func (q *RxQueue) Extract(match func(*fabric.Frame) bool) []*fabric.Frame {
 }
 
 // push appends an arrived frame, reusing drained backing storage.
+//
+//ix:hotpath
 func (q *RxQueue) push(f *fabric.Frame) {
 	q.ring = append(q.ring, f)
 }
@@ -146,6 +152,8 @@ func (q *RxQueue) push(f *fabric.Frame) {
 // drained, the destination ring holds no frames of the migrating flow
 // group yet, so tail insertion preserves intra-flow order. Reports false
 // (frame dropped, released and counted) when no descriptor is free.
+//
+//ix:hotpath
 func (q *RxQueue) Inject(f *fabric.Frame) bool {
 	if q.descAvail <= 0 || q.Len() >= q.ringSize {
 		q.RxDrops++
@@ -172,6 +180,7 @@ func (q *RxQueue) EnableInterrupt() {
 // DisableInterrupt masks the queue's interrupt (NAPI poll start).
 func (q *RxQueue) DisableInterrupt() { q.intrArmed = false }
 
+//ix:hotpath
 func (q *RxQueue) deliver(f *fabric.Frame) {
 	if q.descAvail <= 0 || q.Len() >= q.ringSize {
 		q.RxDrops++

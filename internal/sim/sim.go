@@ -194,6 +194,8 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // when possible. Every event returns to the pool when it fires or is
 // cancelled, so steady-state scheduling — including the cancellable
 // At/Cancel idle-wake churn of the OS models — does not allocate.
+//
+//ix:hotpath
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -201,10 +203,13 @@ func (e *Engine) alloc() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
+	//ixvet:ignore(hotpath) pool growth: every event recycles, so steady state hits the free list
 	return &Event{pooled: true}
 }
 
 // recycle clears a popped event and returns pooled ones to the free list.
+//
+//ix:hotpath
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	ev.fnArg = nil
@@ -217,8 +222,11 @@ func (e *Engine) recycle(ev *Event) {
 
 // schedule assigns the sequence number and queues ev: the same-instant
 // ring when ev.at equals the current time, the heap otherwise.
+//
+//ix:hotpath
 func (e *Engine) schedule(ev *Event) {
 	if ev.at < e.now {
+		//ixvet:ignore(hotpath) panic path: scheduling in the past is a modelling bug, never steady state
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", ev.at, e.now))
 	}
 	e.seq++
@@ -260,6 +268,8 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 // pooled and recycled after it fires: it cannot be cancelled and no
 // reference escapes. This is the allocation-free path for fire-and-forget
 // hot-path work (frame arrivals, task dispatch, TX completions).
+//
+//ix:hotpath
 func (e *Engine) Call(t Time, fn func(any), arg any) {
 	ev := e.alloc()
 	ev.at = t
@@ -270,6 +280,8 @@ func (e *Engine) Call(t Time, fn func(any), arg any) {
 
 // CallAfter schedules the one-shot fn(arg) d from now (clamped at zero),
 // with the same pooled, non-cancellable semantics as Call.
+//
+//ix:hotpath
 func (e *Engine) CallAfter(d time.Duration, fn func(any), arg any) {
 	if d < 0 {
 		d = 0
@@ -295,6 +307,8 @@ func (e *Engine) Cancel(ev *Event) {
 
 // next pops the next due event, or nil when the engine is drained.
 // Cancelled ring events are discarded here.
+//
+//ix:hotpath
 func (e *Engine) next() *Event {
 	for {
 		var ev *Event
@@ -329,6 +343,8 @@ func (e *Engine) next() *Event {
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
+//
+//ix:hotpath
 func (e *Engine) Step() bool {
 	ev := e.next()
 	if ev == nil {

@@ -1011,6 +1011,8 @@ func (c *Conn) onTimeWait() {
 // count (possibly zero): the IX sendv contract, which leaves send
 // buffering policy to the application. The payload slices must remain
 // immutable until acknowledged (the zero-copy contract of §4.5).
+//
+//ix:hotpath
 func (c *Conn) Sendv(bufs [][]byte) int {
 	if c.state != StateEstablished && c.state != StateCloseWait {
 		return 0
@@ -1026,6 +1028,7 @@ func (c *Conn) Sendv(bufs [][]byte) int {
 	// into the tracked segment, so the scratch recycles per segment.
 	seg := c.stack.sg[:0]
 	segLen := 0
+	//ixvet:ignore(hotpath) closure never escapes: called only below, so it stays on the stack (TestZeroAllocSteadySend pins it)
 	flush := func() {
 		if segLen == 0 {
 			return
@@ -1067,6 +1070,8 @@ func (c *Conn) Send(b []byte) int { return c.Sendv([][]byte{b}) }
 // sendData emits one data segment and tracks it for retransmission.
 // payload is caller scratch: the fragment references are captured into
 // the tracked segment, which owns them until the cumulative ACK passes.
+//
+//ix:hotpath
 func (c *Conn) sendData(payload [][]byte, length int) {
 	seq := c.sndNxt
 	c.sndNxt += uint32(length)

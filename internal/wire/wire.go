@@ -85,6 +85,8 @@ type EthHeader struct {
 }
 
 // Marshal writes the header into b, which must be ≥ EthHdrLen bytes.
+//
+//ix:hotpath
 func (h *EthHeader) Marshal(b []byte) {
 	copy(b[0:6], h.Dst[:])
 	copy(b[6:12], h.Src[:])
@@ -159,6 +161,8 @@ const DontFragment = 0x2
 
 // Marshal writes the header into b (≥ IPv4HdrLen bytes) and computes the
 // header checksum.
+//
+//ix:hotpath
 func (h *IPv4Header) Marshal(b []byte) {
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = h.TOS
@@ -245,6 +249,8 @@ func (h *TCPHeader) Len() int { return TCPHdrLen + h.OptLen() }
 // Marshal writes the header (with options) into b, which must be ≥
 // h.Len() bytes. The checksum field is written as zero; call
 // SetTCPChecksum on the assembled segment.
+//
+//ix:hotpath
 func (h *TCPHeader) Marshal(b []byte) {
 	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
@@ -453,12 +459,16 @@ func TCPChecksum(src, dst IPv4, seg []byte) uint16 {
 }
 
 // VerifyTCPChecksum reports whether seg carries a valid TCP checksum.
+//
+//ix:hotpath
 func VerifyTCPChecksum(src, dst IPv4, seg []byte) bool {
 	return finish(sum1c(seg, pseudoSum(src, dst, ProtoTCP, len(seg)))) == 0
 }
 
 // SetTCPChecksum computes and stores the checksum into the assembled TCP
 // segment seg (which begins with the TCP header).
+//
+//ix:hotpath
 func SetTCPChecksum(src, dst IPv4, seg []byte) {
 	seg[16], seg[17] = 0, 0
 	ck := TCPChecksum(src, dst, seg)
