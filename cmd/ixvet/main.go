@@ -56,6 +56,21 @@ func main() {
 	case args[0] == "help" || args[0] == "-h" || args[0] == "-help" || args[0] == "--help":
 		usage()
 		return
+	case args[0] == "-suppressions" || args[0] == "--suppressions":
+		// Count //ixvet:ignore sites from the sources, not from vet
+		// output: go vet's result cache does not replay a clean
+		// package's stderr, so warm runs would under-count.
+		root := "."
+		if len(args) > 1 {
+			root = args[1]
+		}
+		n, err := analysis.CountSuppressionSites(root, analyzers())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ixvet: counting suppressions: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("ixvet: %d //ixvet:ignore suppression site(s) in tree\n", n)
+		return
 	case strings.HasSuffix(args[len(args)-1], ".cfg"):
 		// Invoked by go vet on one compilation unit.
 		os.Exit(analysis.RunUnit(args[len(args)-1], analyzers()))
@@ -90,6 +105,7 @@ func usage() {
 Usage:
 	go vet -vettool=/path/to/ixvet ./...   # canonical (CI) form
 	ixvet ./...                            # convenience re-exec of the above
+	ixvet -suppressions [dir]              # count //ixvet:ignore sites in the tree
 
 Analyzers:
 `)

@@ -5,6 +5,8 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -113,5 +115,51 @@ func g() {
 	}
 	if res.SuppressionSites != 0 {
 		t.Fatalf("malformed comments are not suppression sites, got %d", res.SuppressionSites)
+	}
+}
+
+func TestCountSuppressionSites(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Counted: two well-formed sites. Not counted: a malformed site
+	// (missing reason), an unknown analyzer, and a prose mention of the
+	// grammar in a doc comment or string literal.
+	write("pkg/a.go", `package pkg
+// Suppress with //ixvet:ignore(touchy) <reason> as documented.
+const grammar = "//ixvet:ignore(touchy) from a string"
+func f() {
+	//ixvet:ignore(touchy) first real site
+	_ = grammar
+	_ = grammar //ixvet:ignore(touchy) second real site
+	_ = grammar //ixvet:ignore(touchy)
+	_ = grammar //ixvet:ignore(nosuch) unknown analyzer
+}
+`)
+	// Excluded wholesale: test files and testdata trees.
+	write("pkg/a_test.go", `package pkg
+func g() {
+	//ixvet:ignore(touchy) fixture in a test file
+}
+`)
+	write("pkg/testdata/src/x/x.go", `package x
+func h() {
+	//ixvet:ignore(touchy) fixture in testdata
+}
+`)
+	n, err := CountSuppressionSites(dir, []*Analyzer{touchy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("want 2 counted suppression sites, got %d", n)
 	}
 }

@@ -329,38 +329,103 @@ func (c *rangeCheck) sortedAfter(fnBody *ast.BlockStmt, v *types.Var) bool {
 		if !ok || call.Pos() < c.rng.End() {
 			return true
 		}
-		if !isSortCall(c.pass, call) {
-			return true
-		}
-		for _, a := range call.Args {
-			ast.Inspect(a, func(m ast.Node) bool {
-				if id, ok := m.(*ast.Ident); ok && c.pass.TypesInfo.ObjectOf(id) == v {
-					sorted = true
-				}
-				return !sorted
-			})
+		if c.callSorts(call, v) {
+			sorted = true
 		}
 		return true
 	})
 	return sorted
 }
 
-// isSortCall matches sort.*, slices.Sort* and any local helper whose
-// name contains "sort".
-func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	switch fun := call.Fun.(type) {
+// callSorts reports whether call is a sanctioned sort of the appended
+// slice v. Two shapes qualify:
+//
+//   - a sort or slices package call that mentions v anywhere in its
+//     arguments (sort.Strings(ks), sort.Slice(ks, less), slices.SortFunc);
+//   - a helper whose name contains "sort" AND that receives v directly
+//     as an argument in a slice-typed parameter slot. The signature
+//     requirement keeps the heuristic narrow: sortKey(ks[0]) or
+//     resorted(len(ks)) merely mention v and do not discharge the
+//     obligation.
+func (c *rangeCheck) callSorts(call *ast.CallExpr, v *types.Var) bool {
+	fun := call.Fun
+	switch idx := fun.(type) { // unwrap explicit generic instantiation
+	case *ast.IndexExpr:
+		fun = idx.X
+	case *ast.IndexListExpr:
+		fun = idx.X
+	}
+	var name string
+	switch f := fun.(type) {
 	case *ast.SelectorExpr:
-		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+		if obj, ok := c.pass.TypesInfo.Uses[f.Sel].(*types.Func); ok && obj.Pkg() != nil {
 			switch obj.Pkg().Path() {
 			case "sort", "slices":
-				return true
+				return c.argsMention(call.Args, v)
 			}
 		}
-		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+		name = f.Sel.Name
 	case *ast.Ident:
-		return strings.Contains(strings.ToLower(fun.Name), "sort")
-	case *ast.IndexExpr: // generic instantiation, e.g. slices.Sort[...]
-		return isSortCall(pass, &ast.CallExpr{Fun: fun.X, Args: call.Args})
+		name = f.Name
+	default:
+		return false
+	}
+	if !strings.Contains(strings.ToLower(name), "sort") {
+		return false
+	}
+	sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i, a := range call.Args {
+		id, ok := a.(*ast.Ident)
+		if !ok || c.pass.TypesInfo.ObjectOf(id) != v {
+			continue
+		}
+		if paramIsSlice(sig, i) {
+			return true
+		}
 	}
 	return false
+}
+
+// argsMention reports whether v appears anywhere in args.
+func (c *rangeCheck) argsMention(args []ast.Expr, v *types.Var) bool {
+	found := false
+	for _, a := range args {
+		ast.Inspect(a, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && c.pass.TypesInfo.ObjectOf(id) == v {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// paramIsSlice reports whether the parameter receiving argument i has
+// slice type (for a variadic final parameter, whether the collected
+// element type is a slice).
+func paramIsSlice(sig *types.Signature, i int) bool {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return false
+	}
+	last := params.Len() - 1
+	if i >= params.Len() {
+		if !sig.Variadic() {
+			return false
+		}
+		i = last
+	}
+	t := params.At(i).Type()
+	if sig.Variadic() && i == last {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		t = s.Elem()
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
 }

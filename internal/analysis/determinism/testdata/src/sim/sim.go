@@ -83,6 +83,38 @@ func emitSorted(e *engine, out func(string, int)) {
 	}
 }
 
+// --- green: sorted via a slice-taking helper whose name says sort ---
+
+func sortStable(xs []string) { sort.Strings(xs) }
+
+func emitHelperSorted(e *engine, out func(string, int)) {
+	var ks []string
+	for k := range e.state {
+		ks = append(ks, k)
+	}
+	sortStable(ks)
+	for _, k := range ks {
+		out(k, e.state[k])
+	}
+}
+
+// --- red: "sort"-named callees that never receive the slice ---
+
+func sortKey(k string) string { return k }
+func resorted(n int) int      { return n }
+
+func appendFakeSort(e *engine, out func(string)) {
+	var ks []string
+	for k := range e.state { // want `map iteration order is randomized`
+		ks = append(ks, k)
+	}
+	sortKey(ks[0])    // mentions ks but takes a string, not the slice
+	resorted(len(ks)) // likewise: an int is not a sort of ks
+	for _, k := range ks {
+		out(k)
+	}
+}
+
 // --- green: commutative bodies ---
 
 func tally(e *engine) (n, sum int) {

@@ -3,7 +3,10 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/parser"
 	"go/token"
+	"io/fs"
+	"path/filepath"
 	"regexp"
 	"strings"
 )
@@ -84,6 +87,47 @@ func indexSuppressions(fset *token.FileSet, files []*ast.File, known map[string]
 		}
 	}
 	return idx, malformed
+}
+
+// CountSuppressionSites walks the Go sources under root and returns the
+// number of well-formed //ixvet:ignore sites naming any of the given
+// analyzers. It parses real comments with the production grammar, so
+// prose mentions of the directive (doc strings, analyzer documentation)
+// and malformed comments do not count. Test files and testdata trees
+// are skipped: the analyzers do not bind there, so a suppression there
+// is a fixture, not a shield. CI reports this figure so growth in
+// suppressions stays visible; it deliberately does not come from the
+// vet output, which go vet's result cache elides on warm runs.
+func CountSuppressionSites(root string, analyzers []*Analyzer) (int, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	total := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".")) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		idx, _ := indexSuppressions(fset, []*ast.File{f}, known)
+		total += idx.sites
+		return nil
+	})
+	return total, err
 }
 
 // covers reports whether a suppression for analyzer name is in scope at

@@ -28,6 +28,13 @@ type unitConfig struct {
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+	// GOOS/GOARCH describe the unit's target platform. cmd/go versions
+	// through at least go1.24 do not emit them (json's case-insensitive
+	// match will bind GoOS/GoArch if a future protocol adds them), so
+	// unitSizes falls back to build.Default, which honors the GOARCH
+	// environment variable go vet propagates on cross builds.
+	GOOS   string
+	GOARCH string
 }
 
 // RunUnit analyzes the single compilation unit described by cfgFile and
@@ -71,7 +78,7 @@ func RunUnit(cfgFile string, analyzers []*Analyzer) int {
 
 	tc := &types.Config{
 		Importer:  unitImporter(cfg, fset),
-		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		Sizes:     unitSizes(cfg),
 		GoVersion: cfg.GoVersion,
 	}
 	info := NewTypesInfo()
@@ -101,6 +108,26 @@ func RunUnit(cfgFile string, analyzers []*Analyzer) int {
 		return 1
 	}
 	return 0
+}
+
+// unitSizes resolves the type-size model for the unit's target, so a
+// cross-GOARCH `go vet -vettool` run type-checks with the target's
+// sizes, not the host's. Preference order: the unit config's own
+// Compiler/GOARCH, then build.Default.GOARCH (environment-derived, not
+// runtime-derived), then the gc defaults if the pair is unknown.
+func unitSizes(cfg *unitConfig) types.Sizes {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	arch := cfg.GOARCH
+	if arch == "" {
+		arch = build.Default.GOARCH
+	}
+	if s := types.SizesFor(compiler, arch); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", build.Default.GOARCH)
 }
 
 // NewTypesInfo returns a types.Info with every map the analyzers may
