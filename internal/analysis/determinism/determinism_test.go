@@ -11,6 +11,10 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, determinism.Analyzer, "sim")
 }
 
+func TestShardRuntimeAllowlist(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "sim/shard")
+}
+
 func TestOutOfScopePackagesIgnored(t *testing.T) {
 	analysistest.Run(t, determinism.Analyzer, "outofscope")
 }

@@ -1,0 +1,60 @@
+// Package shard is the determinism-analyzer fixture for the
+// shard-runtime allowlist: its bare path "sim/shard" matches
+// shardRuntimeAllowlist exactly, so OS-level concurrency — goroutines,
+// sync imports, wall-clock telemetry — is sanctioned here at package
+// granularity. The global-PRNG and map-iteration checks still apply:
+// nondeterminism in the runtime would leak into cross-shard merge order.
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type runtime struct {
+	mu    sync.Mutex
+	idle  time.Duration
+	posts atomic.Uint64
+	queue map[int][]int
+}
+
+// --- green: goroutines, sync and wall-clock telemetry are this
+// package's job ---
+
+func (r *runtime) spawnWorkers(n int, body func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			body(id)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (r *runtime) barrierIdle(f func()) {
+	t0 := time.Now()
+	f()
+	r.mu.Lock()
+	r.idle += time.Since(t0)
+	r.mu.Unlock()
+}
+
+func (r *runtime) post() { r.posts.Add(1) }
+
+// --- red: the PRNG and map-order checks are NOT relaxed ---
+
+func (r *runtime) shuffleSeq(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle in sim-visible package`
+}
+
+func (r *runtime) drainUnordered(deliver func(int)) {
+	for _, posts := range r.queue { // want `map iteration order is randomized`
+		for _, p := range posts {
+			deliver(p)
+		}
+	}
+}

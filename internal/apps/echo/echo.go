@@ -40,6 +40,7 @@ func ServerFactory(port uint16, msgSize int) app.Factory {
 type server struct {
 	env  app.Env
 	size int
+	zb   []byte // per-instance zeros backing
 }
 
 type srvConn struct {
@@ -57,7 +58,7 @@ func (s *server) OnRecv(c app.Conn, data []byte) {
 	for st.got >= s.size {
 		st.got -= s.size
 		s.env.Charge(serverMsgCost)
-		c.Send(zeros(s.size))
+		c.Send(zeros(&s.zb, s.size))
 	}
 }
 
@@ -350,6 +351,9 @@ type client struct {
 	env app.Env
 	cfg ClientConfig
 
+	// zb backs zero-filled request payloads (per-instance; see zeros).
+	zb []byte
+
 	// connSeq numbers connections for verify-mode pattern seeding.
 	connSeq uint64
 
@@ -465,7 +469,7 @@ func (cl *client) sendReq(c app.Conn, st *clientConn) {
 		st.unsent = st.buf[n:]
 		return
 	}
-	c.Send(zeros(cl.cfg.MsgSize))
+	c.Send(zeros(&cl.zb, cl.cfg.MsgSize))
 }
 
 func (cl *client) OnRecv(c app.Conn, data []byte) {
@@ -734,13 +738,14 @@ func (f *Fleet) Target() int {
 // Threads returns the number of registered client threads.
 func (f *Fleet) Threads() int { return len(f.clients) }
 
-// zeros returns a read-only buffer of n zero bytes (shared; applications
-// treat transmitted buffers as immutable).
-func zeros(n int) []byte {
-	for cap(zeroBuf) < n {
-		zeroBuf = make([]byte, n)
+// zeros returns a read-only buffer of n zero bytes backed by *buf,
+// growing it on demand (applications treat transmitted buffers as
+// immutable). Each server/client instance carries its own backing buffer:
+// a package-global grow-on-demand block would race when instances on
+// different shards resize it concurrently.
+func zeros(buf *[]byte, n int) []byte {
+	for cap(*buf) < n {
+		*buf = make([]byte, n)
 	}
-	return zeroBuf[:n]
+	return (*buf)[:n]
 }
-
-var zeroBuf = make([]byte, 64<<10)

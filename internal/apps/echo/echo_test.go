@@ -39,8 +39,9 @@ func TestFnvStreamSumPositionSensitive(t *testing.T) {
 }
 
 func TestZerosReuse(t *testing.T) {
-	a := zeros(64)
-	b := zeros(128)
+	var zb []byte
+	a := zeros(&zb, 64)
+	b := zeros(&zb, 128)
 	if len(a) != 64 || len(b) != 128 {
 		t.Fatal("zeros sizing broken")
 	}

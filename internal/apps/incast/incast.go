@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ix/internal/app"
+	"ix/internal/sim/shard"
 	"ix/internal/stats"
 	"ix/internal/wire"
 )
@@ -55,7 +56,14 @@ type Metrics struct {
 	// Running gates reconnects and new rounds.
 	Running bool
 
+	// mu guards the per-round tracking maps: senders live on different
+	// shards, so barrier bookkeeping can race in real time. The guarded
+	// updates are order-independent (start keeps the virtual-time
+	// minimum, lastFin the maximum, the rest are counts), so the lock
+	// serializes without ordering and fixed-seed results stay exact.
+	mu      shard.Mutex
 	start   map[int]int64
+	lastFin map[int]int64
 	entered map[int]int
 	skipped map[int]int
 	done    map[int]int
@@ -68,6 +76,7 @@ func NewMetrics() *Metrics {
 		Completion: stats.NewHistogram(),
 		Running:    true,
 		start:      map[int]int64{},
+		lastFin:    map[int]int64{},
 		entered:    map[int]int{},
 		skipped:    map[int]int{},
 		done:       map[int]int{},
@@ -80,21 +89,35 @@ func NewMetrics() *Metrics {
 // always land in RoundsDone or RoundsFailed and the tracking maps stay
 // bounded.
 
+// enter records the round's burst start as the minimum entering virtual
+// time (in serial runs the first caller has it; in parallel runs callers
+// arrive in arbitrary real order, so min-write makes the result
+// order-independent and serial-identical).
 func (m *Metrics) enter(round int, now int64) {
-	if _, ok := m.start[round]; !ok {
+	m.mu.Lock()
+	if v, ok := m.start[round]; !ok || now < v {
 		m.start[round] = now
 	}
 	m.entered[round]++
+	m.mu.Unlock()
 }
 
+// finish records a confirmation: completion time is the maximum
+// finishing virtual time minus the round start (the serial last-caller's
+// value, computed order-independently).
 func (m *Metrics) finish(round int, now int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, live := m.start[round]; !live {
 		return // already settled (e.g. failed and forgotten)
+	}
+	if now > m.lastFin[round] {
+		m.lastFin[round] = now
 	}
 	m.done[round]++
 	if m.done[round] == m.Senders && m.entered[round] == m.Senders && !m.failed[round] {
 		m.RoundsDone.Inc()
-		m.Completion.Record(time.Duration(now - m.start[round]))
+		m.Completion.Record(time.Duration(m.lastFin[round] - m.start[round]))
 		m.forget(round)
 		return
 	}
@@ -105,15 +128,19 @@ func (m *Metrics) finish(round int, now int64) {
 // or it was behind after a reconnect): the round can no longer complete
 // cleanly.
 func (m *Metrics) skip(round int) {
+	m.mu.Lock()
 	m.skipped[round]++
 	if !m.failed[round] {
 		m.failed[round] = true
 		m.RoundsFailed.Inc()
 	}
 	m.settle(round)
+	m.mu.Unlock()
 }
 
 func (m *Metrics) fail(round int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if round < 0 || m.failed[round] {
 		return
 	}
@@ -125,8 +152,11 @@ func (m *Metrics) fail(round int) {
 	m.settle(round)
 }
 
+// forget and settle run with mu held.
+
 func (m *Metrics) forget(round int) {
 	delete(m.start, round)
+	delete(m.lastFin, round)
 	delete(m.entered, round)
 	delete(m.skipped, round)
 	delete(m.done, round)
@@ -225,6 +255,7 @@ type sender struct {
 	entered  int    // rounds burst on this connection
 	tokens   int    // round confirmations received on this connection
 	unsent   []byte // current burst's not-yet-accepted tail
+	burstBuf []byte // per-sender zero block backing unsent
 	round    int    // next round index to fire
 	cur      int    // round in flight (-1 = idle)
 	armed    bool
@@ -246,7 +277,7 @@ func (s *sender) OnConnected(c app.Conn, ok bool) {
 	s.conn = c
 	// Warm the RTT estimators before the first barrier; the token
 	// confirms liveness.
-	c.Send(burstBytes(warmBytes))
+	c.Send(s.burstBytes(warmBytes))
 	s.arm()
 }
 
@@ -303,7 +334,7 @@ func (s *sender) fire() {
 	// blocks purely by byte count, so dropping accepted-ledger bytes
 	// would desynchronize every later block boundary on this
 	// connection.
-	s.unsent = burstBytes(s.cfg.Burst + len(s.unsent))
+	s.unsent = s.burstBytes(s.cfg.Burst + len(s.unsent))
 	s.push()
 	s.arm()
 }
@@ -354,13 +385,13 @@ func (s *sender) OnClosed(c app.Conn) {
 	}
 }
 
-// burstBytes returns an immutable shared zero block (zero-copy senders
-// must not mutate transmitted buffers).
-func burstBytes(n int) []byte {
-	for cap(burstBuf) < n {
-		burstBuf = make([]byte, n)
+// burstBytes returns an immutable zero block (zero-copy senders must not
+// mutate transmitted buffers). The buffer is per-sender: a global shared
+// grow-on-demand block would race when senders on different shards
+// resize it concurrently.
+func (s *sender) burstBytes(n int) []byte {
+	for cap(s.burstBuf) < n {
+		s.burstBuf = make([]byte, n)
 	}
-	return burstBuf[:n]
+	return s.burstBuf[:n]
 }
-
-var burstBuf = make([]byte, 64<<10)

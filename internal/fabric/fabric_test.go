@@ -339,3 +339,71 @@ func TestTenantEgressAccounting(t *testing.T) {
 		t.Fatalf("pools leaked: %d/%d", p1.InUse(), p2.InUse())
 	}
 }
+
+// TestSwitchSealFreezesFDB: the forwarding database is a
+// construction-time artifact. Once traffic flows (or Seal is called
+// explicitly), Learn/Bond must panic rather than mutate the FDB under
+// in-flight frames — on the parallel engine the switch's shard would
+// otherwise observe a partially-built table.
+func TestSwitchSealFreezesFDB(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng)
+	macA := wire.MAC{2, 0, 0, 0, 0, 1}
+	macB := wire.MAC{2, 0, 0, 0, 0, 2}
+	la := NewLink(eng, 10*Gbps, time.Microsecond)
+	lb := NewLink(eng, 10*Gbps, time.Microsecond)
+	pa := sw.AddPort(la.Port(1))
+	pb := sw.AddPort(lb.Port(1))
+	sw.Learn(macA, pa)
+	sw.Learn(macB, pb)
+	if sw.Sealed() {
+		t.Fatal("switch sealed before construction finished")
+	}
+
+	// First forwarded frame seals implicitly: in-flight frames and FDB
+	// construction can never interleave.
+	rxB := &sink{eng: eng}
+	lb.Port(0).Attach(rxB)
+	la.Port(0).Send(NewFrame(frameTo(macB, macA)))
+	eng.Run()
+	if len(rxB.frames) != 1 {
+		t.Fatal("frame not switched to B")
+	}
+	if !sw.Sealed() {
+		t.Fatal("first forward did not seal the FDB")
+	}
+
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s after seal did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Learn", func() { sw.Learn(wire.MAC{2, 0, 0, 0, 0, 3}, pa) })
+	mustPanic("Bond", func() { sw.Bond(wire.MAC{2, 0, 0, 0, 0, 4}, []int{pa, pb}) })
+
+	// The sealed FDB still forwards.
+	la.Port(0).Send(NewFrame(frameTo(macB, macA)))
+	eng.Run()
+	if len(rxB.frames) != 2 {
+		t.Fatal("sealed switch stopped forwarding")
+	}
+}
+
+// TestSwitchSealExplicit: the harness seals at Start, before any
+// traffic, so misconfigured late Learn calls fail at the call site.
+func TestSwitchSealExplicit(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sw := NewSwitch(eng)
+	la := NewLink(eng, 10*Gbps, time.Microsecond)
+	pa := sw.AddPort(la.Port(1))
+	sw.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Learn after explicit Seal did not panic")
+		}
+	}()
+	sw.Learn(wire.MAC{2, 0, 0, 0, 0, 9}, pa)
+}

@@ -40,6 +40,12 @@ type EchoSetup struct {
 
 	Warmup, Window time.Duration
 	Seed           int64
+
+	// Shards runs the cluster on the sharded engine (0/1 = serial; the
+	// serial path is byte-identical to every previous PR). Experiment
+	// statistics are equivalent across shard counts; see DESIGN.md
+	// "Parallel engine and the determinism contract".
+	Shards int
 }
 
 // EchoResult is the measured steady-state behaviour.
@@ -75,7 +81,7 @@ func buildEchoCluster(s *EchoSetup, m *echo.Metrics, fl *echo.Fleet) *Cluster {
 	if s.ServerPorts == 0 {
 		s.ServerPorts = 1
 	}
-	cl := NewCluster(s.Seed)
+	cl := NewClusterShards(s.Seed, s.Shards)
 	cl.AddHost("server", HostSpec{
 		Arch:       s.ServerArch,
 		Cores:      s.ServerCores,
@@ -170,5 +176,8 @@ func RunEcho(s EchoSetup) EchoResult {
 	cl.Run(s.Window)
 	res := collectEcho(cl, &s, m, s.Window)
 	m.Running = false
+	if s.Shards > 1 {
+		lastFig4Telemetry = cl.Telemetry()
+	}
 	return res
 }

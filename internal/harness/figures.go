@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"time"
+
+	"ix/internal/sim/shard"
 )
 
 // Fig2 regenerates the NetPIPE experiment (§5.2, Fig. 2): goodput for
@@ -269,6 +271,7 @@ func Fig4(sc Scale) *Result {
 					RampGap:        gap,
 					Warmup:         sc.Warmup + warm,
 					Window:         sc.Window,
+					Shards:         sc.Shards,
 				})
 				x = float64(threads * per)
 			} else {
@@ -284,6 +287,7 @@ func Fig4(sc Scale) *Result {
 						MsgSize:     64,
 						RampBatch:   16,
 						RampGap:     Fig4QuietGap(cfgc.arch, threads),
+						Shards:      sc.Shards,
 					})
 				}
 				res = bench.MeasurePoint(total, 3, sc.Window)
@@ -303,5 +307,13 @@ func Fig4(sc Scale) *Result {
 	}
 	r.Notes = append(r.Notes,
 		"droop at high counts comes from the DDIO/L3 model: 1.4 misses/msg ≤10k conns → ~25 at 250k")
+	if sc.Shards > 1 {
+		r.Notes = append(r.Notes, fmt.Sprintf("parallel engine: %v", lastFig4Telemetry))
+	}
 	return r
 }
+
+// lastFig4Telemetry is the most recent sharded Fig. 4 run's engine
+// telemetry (stashed by EchoBench/RunEcho when Shards > 1; serial runs
+// never touch it, keeping their output byte-identical).
+var lastFig4Telemetry = shard.Telemetry{}

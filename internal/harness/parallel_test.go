@@ -1,0 +1,137 @@
+package harness
+
+// Serial-vs-parallel equivalence and shard-sweep determinism: the
+// acceptance tests of the sharded engine (DESIGN.md §Parallel engine and
+// the determinism contract). A fixed seed at a fixed shard count must
+// reproduce runs exactly; across shard counts the invariant counts must
+// agree exactly (only same-instant tie order may differ between the
+// serial global schedule and the per-shard merge, and the invariants are
+// robust to it) and rates must agree within small tolerances.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ix/internal/sim/shard"
+)
+
+// equivShardCounts is the sweep of the equivalence tests; 1 is the
+// serial reference (rt == nil — the pre-sharding code path).
+var equivShardCounts = []int{1, 2, 4, 8}
+
+func equivIncastSetup(shards int) IncastSetup {
+	return IncastSetup{
+		SenderArch: ArchLinux,
+		Senders:    12,
+		MinRTO:     50 * time.Microsecond,
+		Rounds:     5,
+		Seed:       2024,
+		Shards:     shards,
+	}
+}
+
+func equivChaosSetup(shards int) ChaosSetup {
+	return ChaosSetup{
+		ServerCores: 2,
+		ClientHosts: 3,
+		ClientCores: 2,
+		Phases:      4,
+		PhaseLen:    2 * time.Millisecond,
+		Seed:        77,
+		Shards:      shards,
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / den
+}
+
+// TestSerialParallelEquivalenceIncast: the incast collapse experiment
+// produces the same statistics on 2/4/8 shards as on the serial engine —
+// exact round accounting and zero-leak invariants, goodput within a
+// tie-order tolerance.
+func TestSerialParallelEquivalenceIncast(t *testing.T) {
+	ref := RunIncast(equivIncastSetup(1))
+	if ref.RoundsDone == 0 {
+		t.Fatal("serial reference completed no rounds")
+	}
+	for _, shards := range equivShardCounts[1:] {
+		res := RunIncast(equivIncastSetup(shards))
+		if res.FramesLeaked != 0 {
+			t.Errorf("shards=%d: %d frames leaked", shards, res.FramesLeaked)
+		}
+		if got, want := res.RoundsDone+res.RoundsFailed, ref.RoundsDone+ref.RoundsFailed; got != want {
+			t.Errorf("shards=%d: %d rounds accounted, serial %d", shards, got, want)
+		}
+		if res.SinkBytes != ref.SinkBytes {
+			t.Errorf("shards=%d: sink received %d bytes, serial %d", shards, res.SinkBytes, ref.SinkBytes)
+		}
+		if d := relDiff(res.GoodputBps, ref.GoodputBps); d > 0.05 {
+			t.Errorf("shards=%d: goodput %.4g vs serial %.4g (%.2f%% off)",
+				shards, res.GoodputBps, ref.GoodputBps, 100*d)
+		}
+		if res.Telemetry.Shards != shards || res.Telemetry.CrossShardFrames == 0 {
+			t.Errorf("shards=%d: telemetry %+v shows no cross-shard traffic", shards, res.Telemetry)
+		}
+	}
+}
+
+// TestSerialParallelEquivalenceChaos: under randomized loss, dup,
+// corruption and jitter — injectors drawing from the owning shard's
+// fault streams — the end-to-end integrity invariants hold on every
+// shard count and the message totals stay in tolerance.
+func TestSerialParallelEquivalenceChaos(t *testing.T) {
+	ref := RunChaos(equivChaosSetup(1))
+	if ref.Msgs == 0 {
+		t.Fatal("serial reference moved no messages")
+	}
+	for _, shards := range equivShardCounts[1:] {
+		res := RunChaos(equivChaosSetup(shards))
+		if res.VerifyErrors != 0 || res.SumMismatches != 0 {
+			t.Errorf("shards=%d: integrity violated: %d verify errors, %d sum mismatches",
+				shards, res.VerifyErrors, res.SumMismatches)
+		}
+		if res.FramesLeaked != 0 {
+			t.Errorf("shards=%d: %d frames leaked", shards, res.FramesLeaked)
+		}
+		if d := relDiff(float64(res.Msgs), float64(ref.Msgs)); d > 0.05 {
+			t.Errorf("shards=%d: %d msgs vs serial %d (%.2f%% off)",
+				shards, res.Msgs, ref.Msgs, 100*d)
+		}
+	}
+}
+
+// TestShardSweepDeterminism: at a fixed (seed, shard count) the parallel
+// engine is exactly reproducible — the deterministic (arrival time,
+// source shard, source seq) merge leaves no room for worker timing to
+// reach simulation state.
+func TestShardSweepDeterminism(t *testing.T) {
+	for _, shards := range equivShardCounts {
+		a := RunIncast(equivIncastSetup(shards))
+		b := RunIncast(equivIncastSetup(shards))
+		a.Telemetry, b.Telemetry = shard.Telemetry{}, shard.Telemetry{}
+		if a != b {
+			t.Errorf("shards=%d: two fixed-seed incast runs differ:\n  %+v\n  %+v", shards, a, b)
+		}
+	}
+}
+
+// TestShardSweepDeterminismChaos repeats the reproducibility check under
+// fault injection, where per-link injector PRNG streams must land on the
+// owning shard and nowhere else.
+func TestShardSweepDeterminismChaos(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		a := RunChaos(equivChaosSetup(shards))
+		b := RunChaos(equivChaosSetup(shards))
+		if a.Msgs != b.Msgs || a.VerifyErrors != b.VerifyErrors ||
+			a.Injected != b.Injected || a.Retransmits != b.Retransmits ||
+			a.OutOfOrder != b.OutOfOrder || a.ConnFailures != b.ConnFailures {
+			t.Errorf("shards=%d: two fixed-seed chaos runs differ:\n  %+v\n  %+v", shards, a, b)
+		}
+	}
+}

@@ -1,0 +1,489 @@
+// Package shard is the parallel runtime of the simulator: it drives N
+// sim.Engine instances (shards) on N OS workers, advancing virtual time
+// in epochs bounded by the minimum cross-shard link latency — classic
+// conservative parallel discrete-event simulation with link-latency
+// lookahead. Hosts interact only through fabric links with nonzero
+// latency, so a message generated inside epoch [T, T+L) can only arrive
+// at another shard at or after T+L: each shard may execute its own
+// events up to the epoch end without ever hearing from a peer too late.
+//
+// This package is the ONLY sim-visible package where goroutines, sync
+// primitives and the wall clock are sanctioned (ixvet's determinism
+// analyzer carries an explicit allowlist for it). Everything that needs
+// cross-OS-thread machinery — epoch barriers, cross-shard handoff
+// queues, the frame return boxes, atomic measurement counters — lives
+// here, behind interfaces (sim.Remote, fabric.RemoteReleaser) that the
+// engine and fabric consume without importing this package.
+//
+// Determinism contract (DESIGN.md §Parallel engine): a shard's execution
+// is a deterministic function of its epoch inputs. Cross-shard posts are
+// merged at epoch barriers in (arrival time, source shard, source
+// sequence) order, so a fixed seed plus a fixed shard count reproduces
+// byte-identical runs. Across different shard counts only same-instant
+// tie order can differ (serial breaks simultaneous cross-host events by
+// global scheduling order, which no local key can reproduce), so
+// experiment statistics agree exactly on robust counts and within small
+// tolerances on rates.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ix/internal/fabric"
+	"ix/internal/sim"
+)
+
+// post is one cross-shard event: a pooled one-shot (fn, arg) due at at,
+// stamped with the source queue's sequence number for the deterministic
+// merge tiebreak.
+type post struct {
+	at  sim.Time
+	seq uint64
+	fn  func(any)
+	arg any
+}
+
+// mpost is a post tagged with its source shard during the merge.
+type mpost struct {
+	post
+	src int
+}
+
+// handoff is the single-producer single-consumer queue for one (src,
+// dst) shard pair. The producer appends during its epoch run phase; the
+// consumer drains at the next barrier. The phases never overlap (the
+// epoch barrier separates them and establishes happens-before), so the
+// buffer needs no per-element synchronization.
+type handoff struct {
+	rt  *Runtime
+	buf []post
+	seq uint64
+}
+
+// Post implements sim.Remote: enqueue (fn, arg) for execution at at on
+// the destination shard. Posting an arrival before the current epoch's
+// end would be a conservative-lookahead violation (a cross-shard link
+// faster than the configured lookahead) and panics.
+func (q *handoff) Post(at sim.Time, fn func(any), arg any) {
+	if at < q.rt.epochEnd {
+		panic(fmt.Sprintf("shard: cross-shard post at %v violates epoch end %v (link latency below lookahead?)", at, q.rt.epochEnd))
+	}
+	q.seq++
+	q.buf = append(q.buf, post{at: at, seq: q.seq, fn: fn, arg: arg})
+}
+
+// retbox collects frames whose Release ran on a shard other than their
+// pool's owner. The owner drains the box at every epoch barrier and
+// completes the release there, keeping FramePool accounting single-
+// threaded and its free list lock-free on the hot path.
+type retbox struct {
+	mu     sync.Mutex
+	frames []*fabric.Frame
+	pools  []*fabric.FramePool // detached frames: accounting-only returns
+}
+
+// ReleaseRemote implements fabric.RemoteReleaser.
+func (b *retbox) ReleaseRemote(f *fabric.Frame) {
+	b.mu.Lock()
+	b.frames = append(b.frames, f)
+	b.mu.Unlock()
+}
+
+// DetachRemote implements fabric.RemoteReleaser.
+func (b *retbox) DetachRemote(p *fabric.FramePool) {
+	b.mu.Lock()
+	b.pools = append(b.pools, p)
+	b.mu.Unlock()
+}
+
+// worker is one shard's execution state.
+type worker struct {
+	id  int
+	eng *sim.Engine
+
+	// nextAt/hasNext publish the shard's earliest pending event to the
+	// leader's idle-skip computation (written before, read after a
+	// barrier).
+	nextAt  sim.Time
+	hasNext bool
+
+	scratch []mpost // merge buffer, reused across epochs
+
+	// Telemetry (read between runs only).
+	crossPosts     uint64
+	remoteReleases uint64
+	idle           time.Duration // wall time spent waiting at barriers
+}
+
+// barrier is a sense-reversing spinning barrier. Workers spin briefly,
+// then yield; the simulation's epochs are microseconds of virtual time,
+// so parking on a futex every epoch would dominate the run.
+type barrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Uint32
+}
+
+// wait blocks until all n participants arrive. Returns false when the
+// runtime aborted (a sibling worker panicked) — the caller must unwind.
+func (b *barrier) wait(rt *Runtime, w *worker) bool {
+	gen := b.sense.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Add(1)
+		return !rt.aborted.Load()
+	}
+	t0 := time.Now()
+	for spins := 0; b.sense.Load() == gen; spins++ {
+		if rt.aborted.Load() {
+			return false
+		}
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+	w.idle += time.Since(t0)
+	return !rt.aborted.Load()
+}
+
+// Runtime drives one engine per shard through lookahead-bounded epochs.
+// Construct with New, connect cross-shard producers via Remote and frame
+// pools via Releaser, then drive with RunFor. All Runtime methods must
+// be called from the coordinating goroutine between runs; only the
+// Remote/Releaser handles are touched from inside the simulation.
+type Runtime struct {
+	engs    []*sim.Engine
+	workers []*worker
+	queues  [][]*handoff // [src][dst]
+	boxes   []*retbox    // per destination (pool-owner) shard
+	bar     barrier
+
+	lookahead time.Duration
+
+	// Epoch state: written by the leader between barriers, read by every
+	// worker after the next barrier (happens-before via the barrier).
+	target   sim.Time // RunFor's end of virtual time
+	epochEnd sim.Time // current epoch boundary
+	final    bool     // epoch runs inclusive to target
+	done     bool
+
+	epochs  uint64
+	aborted atomic.Bool
+	abortMu sync.Mutex
+	abortV  any
+}
+
+// New builds a runtime over the given engines (one per shard; engine i
+// is shard i). Shard 0 is the coordinator's shard: RunFor executes it on
+// the calling goroutine.
+func New(engs []*sim.Engine) *Runtime {
+	rt := &Runtime{engs: engs}
+	rt.bar.n = int32(len(engs))
+	rt.queues = make([][]*handoff, len(engs))
+	for src := range engs {
+		rt.queues[src] = make([]*handoff, len(engs))
+		for dst := range engs {
+			if src != dst {
+				rt.queues[src][dst] = &handoff{rt: rt}
+			}
+		}
+	}
+	for i, e := range engs {
+		rt.workers = append(rt.workers, &worker{id: i, eng: e})
+		rt.boxes = append(rt.boxes, &retbox{})
+		_ = i
+	}
+	return rt
+}
+
+// Shards returns the shard count.
+func (rt *Runtime) Shards() int { return len(rt.engs) }
+
+// Engine returns shard i's engine.
+func (rt *Runtime) Engine(i int) *sim.Engine { return rt.engs[i] }
+
+// ObserveLink lowers the conservative lookahead to the latency of a
+// cross-shard link. The harness calls it for every cable whose two ports
+// land on different shards; the minimum bounds every epoch.
+func (rt *Runtime) ObserveLink(latency time.Duration) {
+	if latency <= 0 {
+		panic("shard: cross-shard link with zero latency has no lookahead")
+	}
+	if rt.lookahead == 0 || latency < rt.lookahead {
+		rt.lookahead = latency
+	}
+}
+
+// Lookahead returns the configured epoch bound.
+func (rt *Runtime) Lookahead() time.Duration { return rt.lookahead }
+
+// Remote returns the cross-shard post handle for events produced on
+// shard src and consumed on shard dst, or nil when src == dst (local
+// scheduling needs no handoff).
+func (rt *Runtime) Remote(src, dst int) sim.Remote {
+	if src == dst {
+		return nil
+	}
+	return rt.queues[src][dst]
+}
+
+// Releaser returns the frame return box of the pool-owner shard.
+func (rt *Runtime) Releaser(owner int) fabric.RemoteReleaser {
+	return rt.boxes[owner]
+}
+
+// RunFor advances all shards by d of virtual time. Equivalent to every
+// engine's RunFor(d) under the conservative epoch schedule: at return,
+// every engine's clock is exactly start+d, all boundary-time events have
+// executed, and all cross-shard arrivals generated before the end are
+// either executed or scheduled in their destination engines.
+func (rt *Runtime) RunFor(d time.Duration) {
+	if rt.aborted.Load() {
+		panic(rt.abortV)
+	}
+	if len(rt.engs) > 1 && rt.lookahead <= 0 {
+		panic("shard: RunFor without a cross-shard lookahead (ObserveLink never called)")
+	}
+	rt.target = rt.engs[0].Now().Add(d)
+	rt.done, rt.final = false, false
+	var wg sync.WaitGroup
+	for _, w := range rt.workers[1:] {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			rt.runWorker(w)
+		}(w)
+	}
+	rt.runWorker(rt.workers[0])
+	wg.Wait()
+	if rt.aborted.Load() {
+		panic(rt.abortV)
+	}
+}
+
+// abortWith records the first worker panic and poisons the runtime so
+// every sibling unwinds at its next barrier check.
+func (rt *Runtime) abortWith(v any) {
+	rt.abortMu.Lock()
+	if rt.abortV == nil {
+		rt.abortV = v
+	}
+	rt.abortMu.Unlock()
+	rt.aborted.Store(true)
+}
+
+// runWorker is one shard's epoch loop. Every iteration: merge inbound
+// posts and homecoming frames, publish the next-event time, let the
+// leader pick the epoch window (idle-skip to the global minimum next
+// event, bounded by lookahead), then run the engine to the boundary.
+func (rt *Runtime) runWorker(w *worker) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.abortWith(r)
+		}
+	}()
+	for {
+		rt.drain(w)
+		w.nextAt, w.hasNext = w.eng.NextEventAt()
+		if !rt.bar.wait(rt, w) {
+			return
+		}
+		if w.id == 0 {
+			rt.computeEpoch()
+		}
+		if !rt.bar.wait(rt, w) {
+			return
+		}
+		if rt.done {
+			return
+		}
+		if rt.final {
+			w.eng.RunUntil(rt.epochEnd)
+		} else {
+			w.eng.RunBefore(rt.epochEnd)
+		}
+		if !rt.bar.wait(rt, w) {
+			return
+		}
+	}
+}
+
+// computeEpoch picks the next epoch window (leader only, between
+// barriers). E = the earliest pending event across shards (idle-skip:
+// quiet stretches are jumped in one step); the epoch then covers
+// [E, E+L) exclusive, or runs inclusive to the target once E+L reaches
+// it — every arrival generated at t ≥ E lands at t+L ≥ E+L, i.e. beyond
+// the boundary, which is exactly the conservative-lookahead argument.
+func (rt *Runtime) computeEpoch() {
+	if rt.final {
+		rt.done = true
+		return
+	}
+	s := rt.target
+	e := s
+	for _, w := range rt.workers {
+		if w.hasNext && w.nextAt < e {
+			e = w.nextAt
+		}
+	}
+	if e < rt.epochEnd {
+		panic(fmt.Sprintf("shard: next event %v before finished epoch %v (lookahead violation)", e, rt.epochEnd))
+	}
+	rt.epochs++
+	if end := e.Add(rt.lookahead); e < s && end < s {
+		rt.epochEnd = end
+		return
+	}
+	rt.epochEnd = s
+	rt.final = true
+}
+
+// drain merges this shard's inbound cross-shard posts in deterministic
+// (arrival time, source shard, source sequence) order, then completes
+// releases of homecoming frames. Runs with every producer parked at the
+// barrier, so the queue buffers are safely owned here.
+func (rt *Runtime) drain(w *worker) {
+	s := w.scratch[:0]
+	for src := range rt.engs {
+		if src == w.id {
+			continue
+		}
+		q := rt.queues[src][w.id]
+		for i := range q.buf {
+			s = append(s, mpost{post: q.buf[i], src: src})
+		}
+		if n := len(q.buf); n > 0 {
+			w.crossPosts += uint64(n)
+			for i := range q.buf {
+				q.buf[i] = post{}
+			}
+			q.buf = q.buf[:0]
+		}
+	}
+	if len(s) > 1 {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].at != s[j].at {
+				return s[i].at < s[j].at
+			}
+			if s[i].src != s[j].src {
+				return s[i].src < s[j].src
+			}
+			return s[i].seq < s[j].seq
+		})
+	}
+	for i := range s {
+		w.eng.Call(s[i].at, s[i].fn, s[i].arg)
+	}
+	w.scratch = s
+
+	b := rt.boxes[w.id]
+	b.mu.Lock()
+	frames, pools := b.frames, b.pools
+	b.frames, b.pools = nil, nil
+	b.mu.Unlock()
+	for _, f := range frames {
+		f.CompleteRemoteRelease()
+	}
+	for _, p := range pools {
+		p.CompleteRemoteDetach()
+	}
+	w.remoteReleases += uint64(len(frames))
+	if cap(frames) > 0 || cap(pools) > 0 {
+		b.mu.Lock()
+		if b.frames == nil {
+			b.frames = frames[:0]
+		}
+		if b.pools == nil {
+			b.pools = pools[:0]
+		}
+		b.mu.Unlock()
+	}
+}
+
+// Telemetry is the per-run engine instrumentation the experiment footer
+// prints (the data the next lookahead/granularity tuning PR needs).
+type Telemetry struct {
+	Shards int
+	// Epochs counts epoch windows executed across all RunFor calls.
+	Epochs uint64
+	// CrossShardFrames counts cross-shard posts merged (every post is a
+	// frame delivery in the current fabric).
+	CrossShardFrames uint64
+	// RemoteReleases counts frames released on a foreign shard and
+	// completed at their owner's barrier drain.
+	RemoteReleases uint64
+	// BarrierIdle is wall-clock time workers spent waiting at epoch
+	// barriers, summed over workers (load-imbalance indicator).
+	BarrierIdle time.Duration
+}
+
+// Telemetry snapshots the runtime counters. Call between runs.
+func (rt *Runtime) Telemetry() Telemetry {
+	t := Telemetry{Shards: len(rt.engs), Epochs: rt.epochs}
+	for _, w := range rt.workers {
+		t.CrossShardFrames += w.crossPosts
+		t.RemoteReleases += w.remoteReleases
+		t.BarrierIdle += w.idle
+	}
+	return t
+}
+
+// String formats the telemetry for an experiment footer.
+func (t Telemetry) String() string {
+	return fmt.Sprintf("shards=%d epochs=%d cross-shard frames=%d remote releases=%d barrier idle=%v",
+		t.Shards, t.Epochs, t.CrossShardFrames, t.RemoteReleases, t.BarrierIdle.Round(time.Millisecond))
+}
+
+// --- shared-measurement primitives ---
+//
+// Measurement sinks (stats counters/histograms, app metrics) are host Go
+// memory shared across hosts, which under the sharded runtime means
+// across OS workers. Sim-visible packages may not import sync or
+// sync/atomic (ixvet bans it — concurrency there is exactly what breaks
+// fixed-seed determinism), so the few primitives they legitimately need
+// are exported from here: commutative atomic accumulation, whose final
+// values are independent of worker interleaving, and a mutex for the
+// rare order-independent map update.
+
+// Add64 atomically adds n to *p.
+func Add64(p *uint64, n uint64) { atomic.AddUint64(p, n) }
+
+// Load64 atomically loads *p.
+func Load64(p *uint64) uint64 { return atomic.LoadUint64(p) }
+
+// AddI64 atomically adds n to *p.
+func AddI64(p *int64, n int64) { atomic.AddInt64(p, n) }
+
+// LoadI64 atomically loads *p.
+func LoadI64(p *int64) int64 { return atomic.LoadInt64(p) }
+
+// MinI64 atomically lowers *p to v if v is smaller.
+func MinI64(p *int64, v int64) {
+	for {
+		old := atomic.LoadInt64(p)
+		if v >= old || atomic.CompareAndSwapInt64(p, old, v) {
+			return
+		}
+	}
+}
+
+// MaxI64 atomically raises *p to v if v is larger.
+func MaxI64(p *int64, v int64) {
+	for {
+		old := atomic.LoadInt64(p)
+		if v <= old || atomic.CompareAndSwapInt64(p, old, v) {
+			return
+		}
+	}
+}
+
+// Mutex is a plain mutex for measurement-sink updates that cannot be
+// expressed as commutative atomics (e.g. incast's per-round maps). The
+// guarded update must still be order-independent — the lock serializes
+// workers, it does not order them.
+type Mutex struct{ sync.Mutex }

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ix/internal/sim"
+)
+
+const testLookahead = 2 * time.Microsecond
+
+// newTestRuntime builds n shards with a fixed lookahead and returns the
+// runtime plus a per-shard execution trace. Trace slices are only
+// appended to by the owning shard's worker and only read after RunFor
+// returns (the worker join gives happens-before), mirroring how the
+// harness owns per-shard state.
+func newTestRuntime(n int) (*Runtime, [][]string) {
+	engs := make([]*sim.Engine, n)
+	for i := range engs {
+		engs[i] = sim.NewEngine(int64(1000 + i))
+	}
+	rt := New(engs)
+	if n > 1 {
+		rt.ObserveLink(testLookahead)
+	}
+	traces := make([][]string, n)
+	return rt, traces
+}
+
+func at(us int64) sim.Time { return sim.Time(us * 1000) }
+
+func TestCrossShardPostArrivesAtExactTime(t *testing.T) {
+	rt, traces := newTestRuntime(2)
+	remote := rt.Remote(0, 1)
+	// Shard 0 fires at t=1µs and hands a frame-like post to shard 1 due
+	// exactly one lookahead later — the earliest legal arrival, landing
+	// exactly on the epoch boundary E+L. It must execute on shard 1 at
+	// exactly 3µs, in the epoch that owns [3µs, ...).
+	rt.Engine(0).At(at(1), func() {
+		remote.Post(at(3), func(any) {
+			traces[1] = append(traces[1], fmt.Sprintf("arrive@%v", rt.Engine(1).Now()))
+		}, nil)
+	})
+	rt.RunFor(10 * time.Microsecond)
+	want := []string{"arrive@3µs"}
+	if len(traces[1]) != 1 || traces[1][0] != want[0] {
+		t.Fatalf("cross-shard arrival trace = %v, want %v", traces[1], want)
+	}
+	for i := 0; i < rt.Shards(); i++ {
+		if now := rt.Engine(i).Now(); now != at(10) {
+			t.Fatalf("shard %d clock = %v after RunFor, want 10µs", i, now)
+		}
+	}
+}
+
+func TestZeroLatencyIntraShardChainRunsInOneEpoch(t *testing.T) {
+	rt, traces := newTestRuntime(2)
+	// A same-instant self-call chain (zero-latency loopback inside one
+	// shard) must run to completion within its instant — the epoch
+	// barrier may not buffer any link of the chain into a later epoch,
+	// and FIFO order must hold.
+	const n = 5
+	var hop func(i int)
+	eng := rt.Engine(1)
+	hop = func(i int) {
+		traces[1] = append(traces[1], fmt.Sprintf("hop%d@%v", i, eng.Now()))
+		if i+1 < n {
+			eng.At(eng.Now(), func() { hop(i + 1) })
+		}
+	}
+	eng.At(at(1), func() { hop(0) })
+	// A later event pins the epoch count: if the chain leaked across
+	// epochs, hops would show a later timestamp.
+	rt.RunFor(4 * time.Microsecond)
+	if len(traces[1]) != n {
+		t.Fatalf("got %d hops, want %d: %v", len(traces[1]), n, traces[1])
+	}
+	for i, tr := range traces[1] {
+		if want := fmt.Sprintf("hop%d@1µs", i); tr != want {
+			t.Fatalf("hop %d = %q, want %q (chain deferred or reordered)", i, tr, want)
+		}
+	}
+}
+
+func TestIdleSkipJumpsQuietStretches(t *testing.T) {
+	rt, traces := newTestRuntime(2)
+	// Two events 1ms apart: the leader must jump the gap in one epoch
+	// rather than grinding through 500 lookahead windows.
+	rt.Engine(0).At(at(1), func() { traces[0] = append(traces[0], "a") })
+	rt.Engine(1).At(at(1000), func() { traces[1] = append(traces[1], "b") })
+	rt.RunFor(2 * time.Millisecond)
+	if len(traces[0]) != 1 || len(traces[1]) != 1 {
+		t.Fatalf("events lost: %v %v", traces[0], traces[1])
+	}
+	if got := rt.Telemetry().Epochs; got > 8 {
+		t.Fatalf("idle-skip missing: %d epochs for two sparse events", got)
+	}
+}
+
+func TestDeterministicMergeOrderAcrossSources(t *testing.T) {
+	// Same-instant posts from different source shards must merge in
+	// (time, source shard, source seq) order regardless of which worker
+	// ran first; repeating the run must reproduce it exactly.
+	run := func() []string {
+		rt, traces := newTestRuntime(3)
+		for _, src := range []int{2, 1} {
+			src := src
+			remote := rt.Remote(src, 0)
+			rt.Engine(src).At(at(1), func() {
+				for k := 0; k < 2; k++ {
+					k := k
+					remote.Post(at(5), func(any) {
+						traces[0] = append(traces[0], fmt.Sprintf("s%dk%d", src, k))
+					}, nil)
+				}
+			})
+		}
+		rt.RunFor(10 * time.Microsecond)
+		return traces[0]
+	}
+	want := "s1k0 s1k1 s2k0 s2k1"
+	for i := 0; i < 20; i++ {
+		if got := strings.Join(run(), " "); got != want {
+			t.Fatalf("run %d merged %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestRunForMatchesSerialClockAdvance(t *testing.T) {
+	rt, _ := newTestRuntime(4)
+	rt.RunFor(time.Millisecond)
+	rt.RunFor(3 * time.Microsecond)
+	for i := 0; i < rt.Shards(); i++ {
+		if now := rt.Engine(i).Now(); now != sim.Time(time.Millisecond+3*time.Microsecond) {
+			t.Fatalf("shard %d clock = %v, want 1.003ms", i, now)
+		}
+	}
+}
+
+func TestSubLookaheadPostPanics(t *testing.T) {
+	rt, _ := newTestRuntime(2)
+	remote := rt.Remote(0, 1)
+	// A cross-shard arrival inside the current epoch means the link is
+	// faster than the configured lookahead — a conservative-model
+	// violation that must fail loudly, not silently misorder.
+	rt.Engine(0).At(at(1), func() {
+		remote.Post(at(1).Add(100*time.Nanosecond), func(any) {}, nil)
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("sub-lookahead cross-shard post did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "violates epoch end") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	rt.RunFor(10 * time.Microsecond)
+}
+
+func TestWorkerPanicPropagatesWithoutDeadlock(t *testing.T) {
+	rt, _ := newTestRuntime(4)
+	rt.Engine(2).At(at(5), func() { panic("boom on shard 2") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic swallowed")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom on shard 2") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	rt.RunFor(time.Millisecond)
+}
+
+func TestRunForWithoutLookaheadPanics(t *testing.T) {
+	engs := []*sim.Engine{sim.NewEngine(1), sim.NewEngine(2)}
+	rt := New(engs)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunFor with no ObserveLink must panic: no lookahead bound exists")
+		}
+	}()
+	rt.RunFor(time.Microsecond)
+}
+
+func TestTelemetryCountsCrossShardPosts(t *testing.T) {
+	rt, _ := newTestRuntime(2)
+	remote := rt.Remote(0, 1)
+	const n = 7
+	rt.Engine(0).At(at(1), func() {
+		for k := 0; k < n; k++ {
+			remote.Post(at(10), func(any) {}, nil)
+		}
+	})
+	rt.RunFor(20 * time.Microsecond)
+	tel := rt.Telemetry()
+	if tel.Shards != 2 || tel.CrossShardFrames != n {
+		t.Fatalf("telemetry = %+v, want Shards=2 CrossShardFrames=%d", tel, n)
+	}
+	if tel.Epochs == 0 {
+		t.Fatal("telemetry epochs not counted")
+	}
+}
+
+func TestAtomicMinMax(t *testing.T) {
+	var lo, hi int64 = 100, 100
+	for _, v := range []int64{103, 99, 180, 42, 150} {
+		MinI64(&lo, v)
+		MaxI64(&hi, v)
+	}
+	if lo != 42 || hi != 180 {
+		t.Fatalf("MinI64/MaxI64 = %d/%d, want 42/180", lo, hi)
+	}
+}

@@ -2,12 +2,22 @@
 // experiment harness: log-bucketed latency histograms with percentile
 // queries (the paper reports averages and 99th percentiles) and simple
 // counters/rates.
+//
+// Sinks are host Go memory shared by all client threads of an
+// experiment, which under the sharded runtime means shared across OS
+// workers. Recording therefore uses the commutative atomics exported by
+// internal/sim/shard — the final values are independent of worker
+// interleaving, so fixed-seed determinism is preserved. Reads
+// (quantiles, rates, Reset/Merge) belong between runs, on the
+// coordinating goroutine.
 package stats
 
 import (
 	"fmt"
 	"math"
 	"time"
+
+	"ix/internal/sim/shard"
 )
 
 // Histogram is a log-linear histogram of time.Duration samples, similar in
@@ -16,9 +26,9 @@ import (
 type Histogram struct {
 	counts []uint64
 	total  uint64
-	sum    float64
-	min    time.Duration
-	max    time.Duration
+	sum    int64 // nanoseconds; exact (and float64-identical) below 2^53
+	min    int64
+	max    int64
 }
 
 // subBuckets is the number of linear sub-buckets per power of two;
@@ -64,7 +74,7 @@ func bucketLow(i int) int64 {
 	return (1 << uint(exp)) + int64(sub)<<(uint(exp)-5)
 }
 
-// Record adds one sample.
+// Record adds one sample. Safe to call concurrently from shard workers.
 func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -73,26 +83,22 @@ func (h *Histogram) Record(d time.Duration) {
 	if b >= len(h.counts) {
 		b = len(h.counts) - 1
 	}
-	h.counts[b]++
-	h.total++
-	h.sum += float64(d)
-	if d < h.min {
-		h.min = d
-	}
-	if d > h.max {
-		h.max = d
-	}
+	shard.Add64(&h.counts[b], 1)
+	shard.Add64(&h.total, 1)
+	shard.AddI64(&h.sum, int64(d))
+	shard.MinI64(&h.min, int64(d))
+	shard.MaxI64(&h.max, int64(d))
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() uint64 { return h.total }
+func (h *Histogram) Count() uint64 { return shard.Load64(&h.total) }
 
 // Mean returns the average sample, or 0 with no samples.
 func (h *Histogram) Mean() time.Duration {
 	if h.total == 0 {
 		return 0
 	}
-	return time.Duration(h.sum / float64(h.total))
+	return time.Duration(float64(h.sum) / float64(h.total))
 }
 
 // Min returns the smallest sample, or 0 with no samples.
@@ -100,11 +106,11 @@ func (h *Histogram) Min() time.Duration {
 	if h.total == 0 {
 		return 0
 	}
-	return h.min
+	return time.Duration(h.min)
 }
 
 // Max returns the largest sample.
-func (h *Histogram) Max() time.Duration { return h.max }
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1), e.g. 0.99 for the 99th
 // percentile. The result is a bucket lower bound, so it never overstates
@@ -128,16 +134,16 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		seen += c
 		if seen >= rank {
 			v := bucketLow(i)
-			if time.Duration(v) > h.max {
-				return h.max
+			if v > h.max {
+				return time.Duration(h.max)
 			}
 			return time.Duration(v)
 		}
 	}
-	return h.max
+	return time.Duration(h.max)
 }
 
-// Reset clears all samples.
+// Reset clears all samples. Between runs only.
 func (h *Histogram) Reset() {
 	for i := range h.counts {
 		h.counts[i] = 0
@@ -148,7 +154,7 @@ func (h *Histogram) Reset() {
 	h.max = 0
 }
 
-// Merge adds all samples of o into h.
+// Merge adds all samples of o into h. Between runs only.
 func (h *Histogram) Merge(o *Histogram) {
 	for i, c := range o.counts {
 		h.counts[i] += c
@@ -166,30 +172,31 @@ func (h *Histogram) Merge(o *Histogram) {
 // String summarizes the histogram.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d avg=%v p50=%v p99=%v max=%v",
-		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), time.Duration(h.max))
 }
 
 // Counter is a monotonically increasing event counter with a measurement
 // epoch, used for throughput (events per second of virtual time).
+// Increments are safe from shard workers; Reset belongs between runs.
 type Counter struct {
 	n     uint64
 	epoch uint64 // value at last Reset
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { shard.Add64(&c.n, 1) }
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.n += n }
+func (c *Counter) Add(n uint64) { shard.Add64(&c.n, n) }
 
 // Total returns the all-time count.
-func (c *Counter) Total() uint64 { return c.n }
+func (c *Counter) Total() uint64 { return shard.Load64(&c.n) }
 
 // Reset marks the start of a measurement window.
-func (c *Counter) Reset() { c.epoch = c.n }
+func (c *Counter) Reset() { c.epoch = shard.Load64(&c.n) }
 
 // Since returns the count accumulated since the last Reset.
-func (c *Counter) Since() uint64 { return c.n - c.epoch }
+func (c *Counter) Since() uint64 { return shard.Load64(&c.n) - c.epoch }
 
 // Rate returns events per second over a window of virtual duration d.
 func Rate(events uint64, d time.Duration) float64 {
