@@ -98,6 +98,22 @@ func BenchmarkFig5Memcached(b *testing.B) {
 	}
 }
 
+// BenchmarkHTTPKV runs the httpkv composite application (HTTP/1.1 echo
+// tier + redis-like KV tier over the ixnet blocking facade) on IX and
+// Linux and reports the IX stack's combined op rate — the headline for
+// how much throughput the fiber bridge preserves over raw event code.
+func BenchmarkHTTPKV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.HTTPKV(benchScale)
+		if v, ok := r.Get("HTTP+KV ops/s", 0); ok {
+			b.ReportMetric(v, "IX_ops_per_sec")
+		}
+		if v, ok := r.Get("HTTP+KV ops/s", 1); ok {
+			b.ReportMetric(v, "Linux_ops_per_sec")
+		}
+	}
+}
+
 // BenchmarkFig6BatchBound regenerates Figure 6 (batch bound sweep).
 func BenchmarkFig6BatchBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {

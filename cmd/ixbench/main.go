@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment name (fig2, fig3a, fig3b, fig3c, fig4, fig5, fig6, table2, elastic, incast, chaos) or 'all'")
+	exp := flag.String("experiment", "all", "experiment name (fig2, fig3a, fig3b, fig3c, fig4, fig5, fig6, table2, elastic, incast, chaos, tenants, httpkv) or 'all'")
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
 	window := flag.Duration("window", 0, "override measurement window")
 	shards := flag.Int("shards", 1, "parallel engine shards for shard-aware experiments (1 = serial)")

@@ -48,7 +48,7 @@ var scopeRoots = map[string]bool{
 	"libix": true, "core": true, "linuxstack": true, "mtcpstack": true,
 	"netstack": true, "faults": true, "cp": true, "harness": true,
 	"timerwheel": true, "mem": true, "wire": true, "apps": true,
-	"mutilate": true, "stats": true, "dune": true,
+	"mutilate": true, "stats": true, "dune": true, "ixnet": true,
 }
 
 // wallClockFuncs are the package time functions that read or arm the
@@ -77,6 +77,11 @@ var randConstructors = map[string]bool{
 // §"Parallel engine and the determinism contract".
 var shardRuntimeAllowlist = map[string]bool{
 	"sim/shard": true,
+	// ixnet's green-thread fibers are goroutines, but only one ever runs
+	// at a time: park/resume hand a baton over unbuffered channels, and
+	// the FIFO run queue is drained from the simulation thread. See
+	// DESIGN.md §"ixnet: blocking facade and deterministic fibers".
+	"ixnet": true,
 }
 
 // syncImports are the import paths whose presence means OS-level

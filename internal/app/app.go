@@ -65,6 +65,21 @@ type Handler interface {
 	OnClosed(c Conn)
 }
 
+// SendReadyHandler is an optional Handler extension: the writable-again
+// event condition. After a Send returned short (pending-send budget or
+// transmit pool exhausted), an adapter whose handler implements this
+// interface delivers exactly one OnSendReady when the connection can
+// accept bytes again — on IX when the kernel's sendv acceptance reopens
+// the MaxPendingSend budget or the ACK-driven arena release returns
+// chunks to the thread pool, on the baselines when the kernel/user send
+// buffer drains below its cap. Callers retry Send from the callback; a
+// retry that comes up short re-arms the condition. Handlers that do not
+// implement the interface see no behaviour change (no polling, no
+// spurious wakeups — the libevent write-event-on-demand model).
+type SendReadyHandler interface {
+	OnSendReady(c Conn)
+}
+
 // Env is the per-thread runtime environment handed to applications.
 type Env interface {
 	// Now returns virtual time in nanoseconds.

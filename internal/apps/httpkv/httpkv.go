@@ -1,0 +1,462 @@
+// Package httpkv is the blocking-facade workload: an HTTP/1.1 echo
+// server and a redis-style key-value store, plus a connection-pooled
+// closed-loop client, all written purely against net.Conn / net.Listener.
+// Nothing in this package knows which stack it runs on — the same code
+// runs on IX, Linux and mTCP through ixnet's deterministic fibers,
+// demonstrating that the event-driven dataplane API can carry an
+// unmodified sockets-style application (the libix compatibility goal
+// of §4.3, taken one layer further than the libevent shim).
+package httpkv
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/ixnet"
+	"ix/internal/stats"
+	"ix/internal/wire"
+)
+
+// serveCost is the per-request application cost of the trivial
+// echo/store logic (parsing, map touch, response assembly).
+const serveCost = 300 * time.Nanosecond
+
+// perByteCost is the application's per-byte touch cost (ns/byte).
+const perByteCost = 0.05
+
+// HTTPServerFactory serves HTTP/1.1 echo on port: POST bodies come
+// back verbatim, GETs get a fixed banner. Keep-alive by default,
+// Connection: close honored. One accept loop per elastic thread; each
+// connection is served by its own fiber.
+func HTTPServerFactory(port uint16) app.Factory {
+	return ixnet.Factory(func(n *ixnet.Net) {
+		l, err := n.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn := c
+			n.Go(func() { serveHTTP(n, conn) })
+		}
+	})
+}
+
+func serveHTTP(n *ixnet.Net, c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	var resp bytes.Buffer
+	for {
+		method, _, body, keep, err := readHTTPRequest(br)
+		if err != nil {
+			return // EOF, reset or malformed: drop the connection
+		}
+		n.Charge(serveCost + time.Duration(float64(len(body))*perByteCost))
+		if method == "GET" {
+			body = []byte("ixnet httpkv\n")
+		}
+		resp.Reset()
+		fmt.Fprintf(&resp, "HTTP/1.1 200 OK\r\nContent-Length: %d\r\n", len(body))
+		if keep {
+			resp.WriteString("Connection: keep-alive\r\n\r\n")
+		} else {
+			resp.WriteString("Connection: close\r\n\r\n")
+		}
+		resp.Write(body)
+		if _, err := c.Write(resp.Bytes()); err != nil {
+			return
+		}
+		if !keep {
+			return
+		}
+	}
+}
+
+// readHTTPRequest parses one request off br: request line, headers
+// (only Content-Length and Connection are interpreted), then exactly
+// Content-Length body bytes.
+func readHTTPRequest(br *bufio.Reader) (method, target string, body []byte, keep bool, err error) {
+	line, err := readLine(br)
+	if err != nil {
+		return "", "", nil, false, err
+	}
+	sp1 := bytes.IndexByte(line, ' ')
+	sp2 := bytes.LastIndexByte(line, ' ')
+	if sp1 < 0 || sp2 <= sp1 {
+		return "", "", nil, false, errMalformed
+	}
+	method = string(line[:sp1])
+	target = string(line[sp1+1 : sp2])
+	keep = true // HTTP/1.1 default
+	clen := 0
+	for {
+		h, err := readLine(br)
+		if err != nil {
+			return "", "", nil, false, err
+		}
+		if len(h) == 0 {
+			break
+		}
+		col := bytes.IndexByte(h, ':')
+		if col < 0 {
+			return "", "", nil, false, errMalformed
+		}
+		name := string(bytes.ToLower(bytes.TrimSpace(h[:col])))
+		val := string(bytes.TrimSpace(h[col+1:]))
+		switch name {
+		case "content-length":
+			clen, err = strconv.Atoi(val)
+			if err != nil || clen < 0 {
+				return "", "", nil, false, errMalformed
+			}
+		case "connection":
+			keep = val != "close"
+		}
+	}
+	if clen > 0 {
+		body = make([]byte, clen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return "", "", nil, false, err
+		}
+	}
+	return method, target, body, keep, nil
+}
+
+var errMalformed = errors.New("httpkv: malformed request")
+
+// readLine reads one CRLF-terminated line, returning it without the
+// terminator.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// Store is the key-value state shared by every server thread on the
+// host (host Go memory; threads on one host are engine-serialized, the
+// same sharing model as the memcached store).
+type Store struct {
+	m    map[string]string
+	Sets uint64
+	Gets uint64
+	Hits uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{m: make(map[string]string)} }
+
+// KVServerFactory serves the line protocol on port against store:
+//
+//	SET <key> <value>\r\n  → +OK\r\n
+//	GET <key>\r\n          → $<len>\r\n<value>\r\n  (or $-1\r\n on miss)
+//
+// — the redis shape, line-framed values.
+func KVServerFactory(port uint16, store *Store) app.Factory {
+	return ixnet.Factory(func(n *ixnet.Net) {
+		l, err := n.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn := c
+			n.Go(func() { serveKV(n, conn, store) })
+		}
+	})
+}
+
+func serveKV(n *ixnet.Net, c net.Conn, store *Store) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	var resp bytes.Buffer
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return
+		}
+		n.Charge(serveCost + time.Duration(float64(len(line))*perByteCost))
+		resp.Reset()
+		sp := bytes.IndexByte(line, ' ')
+		cmd := line
+		if sp >= 0 {
+			cmd = line[:sp]
+		}
+		switch string(cmd) {
+		case "SET":
+			rest := line[sp+1:]
+			vsp := bytes.IndexByte(rest, ' ')
+			if sp < 0 || vsp < 0 {
+				resp.WriteString("-ERR\r\n")
+				break
+			}
+			store.m[string(rest[:vsp])] = string(rest[vsp+1:])
+			store.Sets++
+			resp.WriteString("+OK\r\n")
+		case "GET":
+			if sp < 0 {
+				resp.WriteString("-ERR\r\n")
+				break
+			}
+			store.Gets++
+			if v, ok := store.m[string(line[sp+1:])]; ok {
+				store.Hits++
+				fmt.Fprintf(&resp, "$%d\r\n%s\r\n", len(v), v)
+			} else {
+				resp.WriteString("$-1\r\n")
+			}
+		default:
+			resp.WriteString("-ERR\r\n")
+		}
+		if _, err := c.Write(resp.Bytes()); err != nil {
+			return
+		}
+	}
+}
+
+// Metrics aggregates client-side results across every client thread of
+// an experiment (host Go memory, like echo.Metrics).
+type Metrics struct {
+	HTTPOps stats.Counter
+	KVOps   stats.Counter
+	Errors  stats.Counter
+	// VerifyErrors counts responses whose payload differed from what
+	// the protocol guarantees (echo mismatch, KV read-your-write miss).
+	VerifyErrors stats.Counter
+	// Latency is per-operation round-trip time (HTTP and KV samples).
+	Latency *stats.Histogram
+	// Running gates the closed loop: when false, workers finish the
+	// in-flight operation, return pooled connections and close.
+	Running bool
+}
+
+// NewMetrics returns a metrics sink with Running set.
+func NewMetrics() *Metrics {
+	return &Metrics{Latency: stats.NewHistogram(), Running: true}
+}
+
+// ResetWindow starts a measurement window.
+func (m *Metrics) ResetWindow() {
+	m.HTTPOps.Reset()
+	m.KVOps.Reset()
+	m.Errors.Reset()
+	m.Latency.Reset()
+}
+
+// Pool is a trivial connection pool: Get reuses an idle connection or
+// dials a new one; Put returns it. Fibers of one thread share it (one
+// runs at a time, so no locking).
+type Pool struct {
+	dial func() (net.Conn, error)
+	idle []net.Conn
+}
+
+// NewPool returns a pool dialing with dial.
+func NewPool(dial func() (net.Conn, error)) *Pool {
+	return &Pool{dial: dial}
+}
+
+// Get pops an idle connection or dials.
+func (p *Pool) Get() (net.Conn, error) {
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		return c, nil
+	}
+	return p.dial()
+}
+
+// Put returns a healthy connection to the pool.
+func (p *Pool) Put(c net.Conn) { p.idle = append(p.idle, c) }
+
+// Close closes every idle connection.
+func (p *Pool) Close() {
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+}
+
+// ClientConfig parameterizes the closed-loop client.
+type ClientConfig struct {
+	HTTPIP   wire.IPv4
+	HTTPPort uint16
+	KVIP     wire.IPv4
+	KVPort   uint16
+	// Workers is the number of client fibers per thread; each keeps a
+	// persistent HTTP connection and draws KV connections from the
+	// thread's shared pool.
+	Workers int
+	// BodySize is the HTTP echo payload size.
+	BodySize int
+	Metrics  *Metrics
+}
+
+// ClientFactory returns the closed-loop client: each worker fiber
+// alternates an HTTP echo POST and a KV SET/GET pair, verifying both
+// responses, until Metrics.Running clears.
+func ClientFactory(cfg ClientConfig) app.Factory {
+	return ixnet.Factory(func(n *ixnet.Net) {
+		d := ixnet.Dialer{Net: n, Timeout: 2 * time.Second}
+		pool := NewPool(func() (net.Conn, error) { return d.Dial(cfg.KVIP, cfg.KVPort) })
+		for i := 0; i < cfg.Workers; i++ {
+			w := i
+			n.Go(func() { worker(n, &d, pool, cfg, w) })
+		}
+	})
+}
+
+func worker(n *ixnet.Net, d *ixnet.Dialer, pool *Pool, cfg ClientConfig, id int) {
+	m := cfg.Metrics
+	hc, err := d.Dial(cfg.HTTPIP, cfg.HTTPPort)
+	if err != nil {
+		m.Errors.Inc()
+		return
+	}
+	defer hc.Close()
+	hbr := bufio.NewReader(hc)
+	body := make([]byte, cfg.BodySize)
+	for i := range body {
+		body[i] = byte('a' + (id+i)%23)
+	}
+	var req bytes.Buffer
+	seq := 0
+	for m.Running {
+		// HTTP echo round.
+		t0 := n.Now()
+		req.Reset()
+		fmt.Fprintf(&req, "POST /echo HTTP/1.1\r\nHost: ix\r\nContent-Length: %d\r\n\r\n", len(body))
+		req.Write(body)
+		if _, err := hc.Write(req.Bytes()); err != nil {
+			m.Errors.Inc()
+			return
+		}
+		echoed, err := readHTTPResponse(hbr)
+		if err != nil {
+			m.Errors.Inc()
+			return
+		}
+		if !bytes.Equal(echoed, body) {
+			m.VerifyErrors.Inc()
+		}
+		m.Latency.Record(n.Now().Sub(t0))
+		m.HTTPOps.Inc()
+
+		// KV round on a pooled connection: SET then read-your-write GET.
+		kc, err := pool.Get()
+		if err != nil {
+			m.Errors.Inc()
+			return
+		}
+		key := fmt.Sprintf("t%d-w%d-%d", n.Thread(), id, seq%32)
+		val := fmt.Sprintf("v%d", seq)
+		seq++
+		t0 = n.Now()
+		got, err := kvSetGet(n, kc, key, val)
+		if err != nil {
+			m.Errors.Inc()
+			kc.Close()
+			return
+		}
+		if got != val {
+			m.VerifyErrors.Inc()
+		}
+		m.Latency.Record(n.Now().Sub(t0))
+		m.KVOps.Inc()
+		pool.Put(kc)
+	}
+	pool.Close()
+}
+
+// readHTTPResponse parses one response off br and returns its body.
+func readHTTPResponse(br *bufio.Reader) ([]byte, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(line, []byte("HTTP/1.1 200")) {
+		return nil, errMalformed
+	}
+	clen := 0
+	for {
+		h, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if len(h) == 0 {
+			break
+		}
+		col := bytes.IndexByte(h, ':')
+		if col < 0 {
+			return nil, errMalformed
+		}
+		if string(bytes.ToLower(bytes.TrimSpace(h[:col]))) == "content-length" {
+			clen, err = strconv.Atoi(string(bytes.TrimSpace(h[col+1:])))
+			if err != nil || clen < 0 {
+				return nil, errMalformed
+			}
+		}
+	}
+	body := make([]byte, clen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// kvSetGet issues SET key val, then GET key, returning the read value.
+// br is per-call because pooled connections migrate between workers;
+// the protocol is strictly request-response, so no bytes straddle ops.
+func kvSetGet(n *ixnet.Net, kc net.Conn, key, val string) (string, error) {
+	var req bytes.Buffer
+	fmt.Fprintf(&req, "SET %s %s\r\nGET %s\r\n", key, val, key)
+	if _, err := kc.Write(req.Bytes()); err != nil {
+		return "", err
+	}
+	br := bufio.NewReader(kc)
+	ok, err := readLine(br)
+	if err != nil {
+		return "", err
+	}
+	if string(ok) != "+OK" {
+		return "", errMalformed
+	}
+	hdr, err := readLine(br)
+	if err != nil {
+		return "", err
+	}
+	if len(hdr) < 1 || hdr[0] != '$' {
+		return "", errMalformed
+	}
+	vlen, err := strconv.Atoi(string(hdr[1:]))
+	if err != nil {
+		return "", errMalformed
+	}
+	if vlen < 0 {
+		return "", nil // miss
+	}
+	buf := make([]byte, vlen+2)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf[:vlen]), nil
+}

@@ -23,6 +23,9 @@ type MemcSetup struct {
 
 	Warmup, Window time.Duration
 	Seed           int64
+
+	// Shards runs the cluster on the sharded engine (0/1 = serial).
+	Shards int
 }
 
 // MemcResult is one measured point.
@@ -46,7 +49,7 @@ func RunMemcached(s MemcSetup) MemcResult {
 	if s.ConnsPerThread <= 0 {
 		s.ConnsPerThread = 32
 	}
-	cl := NewCluster(s.Seed)
+	cl := NewClusterShards(s.Seed, s.Shards)
 	const port = 11211
 	store := memcached.NewStore(256 << 20)
 	mutilate.Preload(store, s.Workload)
@@ -172,6 +175,7 @@ func Fig5(sc Scale) *Result {
 					ClientCores: sc.MemcCores,
 					Warmup:      sc.Warmup,
 					Window:      sc.Window,
+					Shards:      sc.Shards,
 				})
 				base := fmt.Sprintf("%s-%s", w.Name, cfg.label)
 				kRPS := res.AchievedRPS / 1000
@@ -209,6 +213,7 @@ func slaSearch(sc Scale, arch Arch, cores, batch int, w mutilate.Workload, maxRP
 			ClientCores: sc.MemcCores,
 			Warmup:      sc.Warmup,
 			Window:      sc.Window,
+			Shards:      sc.Shards,
 		})
 		return res.AchievedRPS, res.AgentP99 > 0 && res.AgentP99 < SLA
 	}
@@ -268,6 +273,7 @@ func Table2(sc Scale) *Result {
 				ClientCores: 1,
 				Warmup:      sc.Warmup,
 				Window:      sc.Window,
+				Shards:      sc.Shards,
 			})
 			// SLA search: bracket by geometric descent, then bisect.
 			best := slaSearch(sc, cfg.arch, cfg.cores, cfg.batch, w, 2_000_000)
@@ -307,6 +313,7 @@ func Fig6(sc Scale) *Result {
 				ClientCores: sc.MemcCores,
 				Warmup:      sc.Warmup,
 				Window:      sc.Window,
+				Shards:      sc.Shards,
 			})
 			r.AddPoint(fmt.Sprintf("B=%d", b), res.AchievedRPS/1000,
 				float64(res.AgentP99.Microseconds()))
@@ -337,4 +344,8 @@ var Experiments = map[string]func(Scale) *Result{
 	// dataplanes share one machine and an SLO-driven arbiter moves
 	// cores between them through a flash crowd.
 	"tenants": Tenants,
+	// The blocking facade: an HTTP/1.1 echo server and a redis-style
+	// KV store written purely against net.Conn, bridged onto the
+	// event-driven stacks by ixnet's deterministic fibers.
+	"httpkv": HTTPKV,
 }

@@ -33,6 +33,7 @@ func Fig2(sc Scale) *Result {
 				MsgSize:        size,
 				Warmup:         sc.Warmup,
 				Window:         sc.Window,
+				Shards:         sc.Shards,
 			})
 			// NetPIPE reports size / one-way time.
 			if res.RTTMean > 0 {
@@ -99,6 +100,7 @@ func Fig3a(sc Scale) *Result {
 				MsgSize:        64,
 				Warmup:         sc.Warmup,
 				Window:         sc.Window,
+				Shards:         sc.Shards,
 			})
 			r.AddPoint(cfgc.label, float64(cores), res.MsgsPerSec)
 		}
@@ -131,6 +133,7 @@ func Fig3b(sc Scale) *Result {
 				MsgSize:        64,
 				Warmup:         sc.Warmup,
 				Window:         sc.Window,
+				Shards:         sc.Shards,
 			})
 			r.AddPoint(cfgc.label, float64(n), res.MsgsPerSec)
 		}
@@ -163,6 +166,7 @@ func Fig3c(sc Scale) *Result {
 				MsgSize:        size,
 				Warmup:         sc.Warmup,
 				Window:         sc.Window,
+				Shards:         sc.Shards,
 			})
 			r.AddPoint(cfgc.label, float64(size), res.GoodputBps/1e9)
 		}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestExperimentsShards2Smoke runs every registry experiment on the
+// sharded engine (shards=2) at a tiny scale: the -shards flag must be
+// honored end to end — cluster construction, host placement, stats
+// collection, arbiter stepping — by every experiment, not just Fig. 4.
+func TestExperimentsShards2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded registry sweep")
+	}
+	sc := Scale{
+		Name:        "shardsmoke",
+		Warmup:      2 * time.Millisecond,
+		Window:      5 * time.Millisecond,
+		EchoClients: 2,
+		ClientCores: 2,
+		MemcClients: 2,
+		MemcCores:   1,
+		MaxConns:    2_000,
+		RPSSteps:    1,
+		Shards:      2,
+	}
+	names := make([]string, 0, len(Experiments))
+	for name := range Experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn := Experiments[name]
+		t.Run(name, func(t *testing.T) {
+			res := fn(sc)
+			if res == nil {
+				t.Fatalf("%s returned nil at shards=2", name)
+			}
+			if len(res.Series) == 0 && len(res.Tables) == 0 {
+				t.Errorf("%s produced no series or tables at shards=2", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,245 @@
+package ixnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/wire"
+)
+
+// Addr is an ixnet endpoint address.
+type Addr struct {
+	IP   wire.IPv4
+	Port uint16
+}
+
+// Network names the simulated fabric.
+func (a Addr) Network() string { return "ix" }
+
+func (a Addr) String() string { return fmt.Sprintf("%v:%d", a.IP, a.Port) }
+
+// Conn is a blocking, net.Conn-compatible view of one stack
+// connection. It may be used by at most one reading fiber and one
+// writing fiber concurrently (the net.Conn contract); Close and the
+// deadline setters may be called from any fiber or timer callback on
+// the owning thread.
+type Conn struct {
+	n  *Net
+	ac app.Conn // the underlying event-driven connection
+
+	laddr, raddr Addr
+
+	// Receive buffer: bytes copied out of OnRecv, rOff the read cursor.
+	rb   []byte
+	rOff int
+
+	// Stream state set by the handler.
+	eof         bool // peer FIN delivered (after buffered data drains → io.EOF)
+	reset       bool // terminated with no FIN and no local close → ECONNRESET
+	dead        bool // OnClosed fired
+	localClosed bool
+
+	// Parked fibers.
+	reader *fiber
+	writer *fiber
+	dialer *fiber
+
+	// Dial state.
+	connDone  bool
+	connOK    bool
+	abandoned bool // dialer timed out; OnConnected must discard
+
+	// Deadlines, as virtual-clock instants; zero means none. The
+	// generation counters invalidate timers armed for superseded
+	// deadlines (the timer service cannot cancel).
+	rdl, wdl time.Time
+	rdGen    int
+	wdGen    int
+	// Timer-armed generation: one wakeup timer per deadline value.
+	rdArmed, wdArmed int
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+func newConn(n *Net, ac app.Conn) *Conn {
+	return &Conn{n: n, ac: ac}
+}
+
+// Read blocks until data, EOF, reset, close or deadline. Buffered data
+// is always delivered before a pending error — a stream that ends in
+// FIN yields every byte, then io.EOF.
+func (c *Conn) Read(p []byte) (int, error) {
+	for {
+		if c.rOff < len(c.rb) {
+			n := copy(p, c.rb[c.rOff:])
+			c.rOff += n
+			if c.rOff == len(c.rb) {
+				c.rb = c.rb[:0]
+				c.rOff = 0
+			}
+			return n, nil
+		}
+		if c.localClosed {
+			return 0, net.ErrClosed
+		}
+		if c.reset {
+			return 0, syscall.ECONNRESET
+		}
+		if c.eof {
+			return 0, io.EOF
+		}
+		if c.deadlineExpired(c.rdl) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if len(p) == 0 {
+			return 0, nil
+		}
+		if c.reader != nil {
+			panic("ixnet: concurrent Read on one Conn")
+		}
+		c.reader = c.n.s.current()
+		c.armReadTimer()
+		c.n.s.park()
+		c.reader = nil
+	}
+}
+
+// Write blocks until every byte is accepted by the stack (the
+// writable-again event condition resumes it across pending-send budget
+// and transmit-pool backpressure), or an error. On error it reports the
+// bytes accepted so far.
+func (c *Conn) Write(p []byte) (int, error) {
+	wrote := 0
+	for {
+		if c.localClosed {
+			return wrote, net.ErrClosed
+		}
+		if c.reset || c.dead {
+			return wrote, syscall.ECONNRESET
+		}
+		if c.deadlineExpired(c.wdl) {
+			return wrote, os.ErrDeadlineExceeded
+		}
+		if wrote == len(p) {
+			return wrote, nil
+		}
+		n := c.ac.Send(p[wrote:])
+		wrote += n
+		if wrote == len(p) {
+			return wrote, nil
+		}
+		// Short write: the stack armed its send-ready condition when it
+		// came up short; park until OnSendReady.
+		if c.writer != nil {
+			panic("ixnet: concurrent Write on one Conn")
+		}
+		c.writer = c.n.s.current()
+		c.armWriteTimer()
+		c.n.s.park()
+		c.writer = nil
+	}
+}
+
+// Close performs an orderly close: bytes already accepted by the stack
+// drain to the wire before the FIN (the stacks' deferred-FIN close).
+// Parked readers and writers unblock with net.ErrClosed.
+func (c *Conn) Close() error {
+	if c.localClosed {
+		return net.ErrClosed
+	}
+	c.localClosed = true
+	c.wakeReader()
+	c.wakeWriter()
+	if c.ac != nil && !c.dead {
+		c.ac.Close()
+	}
+	c.n.s.pump()
+	return nil
+}
+
+// LocalAddr returns the local endpoint (zero for accepted connections:
+// the event API does not surface peer addresses).
+func (c *Conn) LocalAddr() net.Addr { return c.laddr }
+
+// RemoteAddr returns the remote endpoint (known for dialed
+// connections; zero for accepted ones).
+func (c *Conn) RemoteAddr() net.Addr { return c.raddr }
+
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline sets the read deadline: a parked or future Read past
+// t fails with os.ErrDeadlineExceeded. The zero time clears it; unlike
+// an error, an expired deadline is not sticky once reset.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.rdl = t
+	c.rdGen++
+	if c.reader != nil {
+		c.armReadTimer()
+	}
+	c.n.s.pump()
+	return nil
+}
+
+// SetWriteDeadline sets the write deadline, as SetReadDeadline.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.wdl = t
+	c.wdGen++
+	if c.writer != nil {
+		c.armWriteTimer()
+	}
+	c.n.s.pump()
+	return nil
+}
+
+func (c *Conn) deadlineExpired(dl time.Time) bool {
+	return !dl.IsZero() && !c.n.Now().Before(dl)
+}
+
+// armReadTimer schedules a wakeup at the read deadline (at most one
+// per deadline generation — superseded timers no-op on the gen check).
+func (c *Conn) armReadTimer() {
+	if c.rdl.IsZero() || c.rdArmed == c.rdGen {
+		return
+	}
+	c.rdArmed = c.rdGen
+	gen := c.rdGen
+	c.n.after(c.rdl.Sub(c.n.Now()), func() {
+		if gen == c.rdGen {
+			c.wakeReader()
+		}
+	})
+}
+
+func (c *Conn) armWriteTimer() {
+	if c.wdl.IsZero() || c.wdArmed == c.wdGen {
+		return
+	}
+	c.wdArmed = c.wdGen
+	gen := c.wdGen
+	c.n.after(c.wdl.Sub(c.n.Now()), func() {
+		if gen == c.wdGen {
+			c.wakeWriter()
+		}
+	})
+}
+
+func (c *Conn) wakeReader() {
+	if c.reader != nil {
+		c.n.s.wake(c.reader)
+	}
+}
+
+func (c *Conn) wakeWriter() {
+	if c.writer != nil {
+		c.n.s.wake(c.writer)
+	}
+}

@@ -1,0 +1,109 @@
+// Deterministic green threads for the blocking facade.
+//
+// A fiber is a goroutine that runs only while the simulation hands it
+// the baton: the scheduler resumes exactly one fiber at a time over an
+// unbuffered channel pair and the simulation thread blocks until the
+// fiber parks or finishes. At any instant at most one goroutine — the
+// simulation thread or a single fiber — is running, so fibers may touch
+// per-thread state without locks, and every handoff is a channel
+// operation the race detector recognizes as a happens-before edge.
+//
+// Determinism: wakeups enqueue on a FIFO run queue and the pump drains
+// it in order, so for a fixed event sequence (which the engine already
+// guarantees per seed) the fiber interleaving is a pure function of the
+// program. No wall clock, no select over multiple channels, no
+// goroutine ever runnable concurrently with another.
+package ixnet
+
+// sched runs a thread's fibers. It is owned by the elastic thread's
+// event loop: pump may only be called from simulation context (handler
+// callbacks, timer callbacks, factory init), park only from a fiber.
+type sched struct {
+	// yield carries the baton fiber→pump; each fiber's resume channel
+	// carries it pump→fiber. Both are unbuffered: a send is a rendezvous.
+	yield chan struct{}
+	runq  []*fiber // FIFO of runnable fibers
+	cur   *fiber   // the fiber holding the baton, nil in sim context
+	// pumping guards against re-entry when a public API that kicks the
+	// pump is invoked from fiber context (the outer pump's loop will
+	// reach the new work).
+	pumping bool
+}
+
+type fiber struct {
+	s      *sched
+	resume chan struct{}
+	queued bool // sitting in runq
+	done   bool
+}
+
+func newSched() *sched {
+	return &sched{yield: make(chan struct{})}
+}
+
+// spawn creates a fiber running fn and marks it runnable. fn starts
+// executing at the next pump.
+func (s *sched) spawn(fn func()) *fiber {
+	f := &fiber{s: s, resume: make(chan struct{})}
+	go func() {
+		<-f.resume
+		fn()
+		f.done = true
+		s.yield <- struct{}{}
+	}()
+	s.wake(f)
+	return f
+}
+
+// wake marks f runnable. Idempotent while queued; a no-op for finished
+// fibers. Callable from either context.
+func (s *sched) wake(f *fiber) {
+	if f == nil || f.queued || f.done {
+		return
+	}
+	f.queued = true
+	s.runq = append(s.runq, f)
+}
+
+// current returns the running fiber; it panics outside fiber context —
+// blocking facade calls (Read, Write, Accept, Dial, Sleep) are only
+// legal from a fiber.
+func (s *sched) current() *fiber {
+	if s.cur == nil {
+		panic("ixnet: blocking call outside fiber context (use Net.Go)")
+	}
+	return s.cur
+}
+
+// park yields the baton until the next wake of the current fiber.
+func (s *sched) park() {
+	f := s.current()
+	s.yield <- struct{}{}
+	<-f.resume
+}
+
+// pump drains the run queue, running each fiber to its next park (or
+// completion). Fibers woken mid-drain run in the same pass. Must be
+// called from simulation context; a call from fiber context (via a
+// public API) is a harmless no-op because the active pump's loop picks
+// up the new work.
+func (s *sched) pump() {
+	if s.pumping {
+		return
+	}
+	s.pumping = true
+	for len(s.runq) > 0 {
+		f := s.runq[0]
+		s.runq[0] = nil
+		s.runq = s.runq[1:]
+		if len(s.runq) == 0 {
+			s.runq = nil // let the backing array go once drained
+		}
+		f.queued = false
+		s.cur = f
+		f.resume <- struct{}{}
+		<-s.yield
+		s.cur = nil
+	}
+	s.pumping = false
+}

@@ -1,0 +1,345 @@
+// Edge-case tests for the blocking facade: deadlines firing mid-Read,
+// Close semantics (local close vs EOF vs reset) on parked fibers,
+// concurrent reader+writer fibers on one connection, accept-backlog
+// overflow, and fixed-seed determinism of the fiber interleaving.
+//
+// The tests drive real clusters (IX stack) so fibers park and resume on
+// genuine stack events, not mocks.
+package ixnet_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"ix/internal/app"
+	"ix/internal/harness"
+	"ix/internal/ixnet"
+	"ix/internal/wire"
+)
+
+const port = 7000
+
+// pair builds a one-server one-client IX cluster and runs it for d.
+func pair(serverFactory app.Factory, clientMain func(n *ixnet.Net, srv wire.IPv4), d time.Duration) {
+	cl := harness.NewCluster(1)
+	hs := cl.AddHost("server", harness.HostSpec{Arch: harness.ArchIX, Cores: 1, Factory: serverFactory})
+	srvIP := hs.IP()
+	cl.AddHost("client", harness.HostSpec{Arch: harness.ArchIX, Cores: 1,
+		Factory: ixnet.Factory(func(n *ixnet.Net) { clientMain(n, srvIP) })})
+	cl.Start()
+	cl.Run(d)
+}
+
+// silentServer accepts and never writes.
+func silentServer() app.Factory {
+	return ixnet.Factory(func(n *ixnet.Net) {
+		l, err := n.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		var keep []net.Conn
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			keep = append(keep, c)
+			_ = keep
+		}
+	})
+}
+
+func TestReadDeadlineMidRead(t *testing.T) {
+	var (
+		dialErr      error
+		firstErr     error
+		firstElapsed time.Duration
+		secondErr    error
+	)
+	pair(silentServer(), func(n *ixnet.Net, srv wire.IPv4) {
+		c, err := n.Dial(srv, port)
+		if dialErr = err; err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		c.SetReadDeadline(n.Now().Add(2 * time.Millisecond))
+		t0 := n.Now()
+		_, firstErr = c.Read(buf)
+		firstElapsed = n.Now().Sub(t0)
+		// The expired deadline is not sticky: arming a fresh one lets
+		// the next Read park again and time out again.
+		c.SetReadDeadline(n.Now().Add(time.Millisecond))
+		_, secondErr = c.Read(buf)
+		c.Close()
+	}, 20*time.Millisecond)
+	if dialErr != nil {
+		t.Fatalf("dial: %v", dialErr)
+	}
+	if !errors.Is(firstErr, os.ErrDeadlineExceeded) {
+		t.Fatalf("first Read err = %v, want ErrDeadlineExceeded", firstErr)
+	}
+	if firstElapsed < 2*time.Millisecond || firstElapsed > 3*time.Millisecond {
+		t.Errorf("deadline fired after %v, want ~2ms", firstElapsed)
+	}
+	if !errors.Is(secondErr, os.ErrDeadlineExceeded) {
+		t.Errorf("second Read err = %v, want ErrDeadlineExceeded (deadline must re-arm)", secondErr)
+	}
+}
+
+func TestCloseUnblocksParkedReader(t *testing.T) {
+	var readErr error
+	done := false
+	pair(silentServer(), func(n *ixnet.Net, srv wire.IPv4) {
+		c, err := n.Dial(srv, port)
+		if err != nil {
+			return
+		}
+		n.Go(func() {
+			_, readErr = c.Read(make([]byte, 64))
+			done = true
+		})
+		n.Sleep(time.Millisecond) // let the reader park on EvRecv
+		c.Close()
+	}, 20*time.Millisecond)
+	if !done {
+		t.Fatal("reader never unblocked after Close")
+	}
+	if !errors.Is(readErr, net.ErrClosed) {
+		t.Errorf("Read err = %v, want net.ErrClosed", readErr)
+	}
+}
+
+func TestRemoteCloseDeliversDataThenEOF(t *testing.T) {
+	// Server writes a payload and closes in the same fiber step: the
+	// orderly close must deliver every byte, then io.EOF — exercising
+	// the deferred-FIN drain through the facade.
+	payload := bytes.Repeat([]byte("ix"), 4096)
+	srv := ixnet.Factory(func(n *ixnet.Net) {
+		l, err := n.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Write(payload)
+			c.Close()
+		}
+	})
+	var got []byte
+	var finalErr error
+	pair(srv, func(n *ixnet.Net, srv wire.IPv4) {
+		c, err := n.Dial(srv, port)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1024)
+		for {
+			k, err := c.Read(buf)
+			got = append(got, buf[:k]...)
+			if err != nil {
+				finalErr = err
+				break
+			}
+		}
+		c.Close()
+	}, 20*time.Millisecond)
+	if finalErr != io.EOF {
+		t.Fatalf("final Read err = %v, want io.EOF", finalErr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("received %d bytes before EOF, want %d (close must drain first)", len(got), len(payload))
+	}
+}
+
+// abortServer is a raw event-driven handler that resets every
+// connection the moment it receives data.
+type abortServer struct{}
+
+func abortFactory() app.Factory {
+	return func(env app.Env, thread, threads int) app.Handler {
+		if err := env.Listen(port); err != nil {
+			panic(err)
+		}
+		return abortServer{}
+	}
+}
+
+func (abortServer) OnAccept(c app.Conn)             {}
+func (abortServer) OnConnected(c app.Conn, ok bool) {}
+func (abortServer) OnRecv(c app.Conn, data []byte)  { c.Abort() }
+func (abortServer) OnSent(c app.Conn, n int)        {}
+func (abortServer) OnEOF(c app.Conn)                { c.Close() }
+func (abortServer) OnClosed(c app.Conn)             {}
+
+func TestResetDeliversECONNRESET(t *testing.T) {
+	var readErr error
+	pair(abortFactory(), func(n *ixnet.Net, srv wire.IPv4) {
+		c, err := n.Dial(srv, port)
+		if err != nil {
+			return
+		}
+		if _, err := c.Write([]byte("x")); err != nil {
+			return
+		}
+		_, readErr = c.Read(make([]byte, 64))
+	}, 20*time.Millisecond)
+	if !errors.Is(readErr, syscall.ECONNRESET) {
+		t.Errorf("Read err = %v, want ECONNRESET", readErr)
+	}
+}
+
+// echoServer copies every byte back.
+func echoServer() app.Factory {
+	return ixnet.Factory(func(n *ixnet.Net) {
+		l, err := n.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn := c
+			n.Go(func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					k, err := conn.Read(buf)
+					if k > 0 {
+						if _, werr := conn.Write(buf[:k]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+}
+
+// runConcurrentRW drives one connection with independent reader and
+// writer fibers and returns a deterministic event log.
+func runConcurrentRW(t *testing.T) (log []string, sent, rcvd int) {
+	t.Helper()
+	const total = 512 << 10
+	pair(echoServer(), func(n *ixnet.Net, srv wire.IPv4) {
+		c, err := n.Dial(srv, port)
+		if err != nil {
+			return
+		}
+		writerDone := false
+		n.Go(func() {
+			chunk := make([]byte, 8192)
+			for i := range chunk {
+				chunk[i] = byte(i)
+			}
+			for sent < total {
+				k, err := c.Write(chunk)
+				sent += k
+				if err != nil {
+					break
+				}
+			}
+			writerDone = true
+			log = append(log, fmt.Sprintf("%d w:done sent=%d", n.Now().UnixNano(), sent))
+		})
+		n.Go(func() {
+			buf := make([]byte, 16384)
+			for rcvd < total {
+				k, err := c.Read(buf)
+				rcvd += k
+				log = append(log, fmt.Sprintf("%d r:%d", n.Now().UnixNano(), rcvd))
+				if err != nil {
+					break
+				}
+			}
+			_ = writerDone
+			c.Close()
+		})
+	}, 100*time.Millisecond)
+	return log, sent, rcvd
+}
+
+func TestConcurrentReaderWriterFibers(t *testing.T) {
+	log, sent, rcvd := runConcurrentRW(t)
+	if sent != 512<<10 {
+		t.Errorf("writer pushed %d bytes, want %d", sent, 512<<10)
+	}
+	if rcvd != sent {
+		t.Errorf("reader saw %d of %d echoed bytes", rcvd, sent)
+	}
+	if len(log) == 0 {
+		t.Fatal("no events logged")
+	}
+}
+
+// TestFiberDeterminism runs the concurrent reader/writer workload
+// twice with the same seed and requires byte-identical event logs —
+// same wakeup order, same virtual timestamps, same byte counts.
+func TestFiberDeterminism(t *testing.T) {
+	log1, _, _ := runConcurrentRW(t)
+	log2, _, _ := runConcurrentRW(t)
+	if len(log1) != len(log2) {
+		t.Fatalf("run lengths differ: %d vs %d events", len(log1), len(log2))
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("event %d differs:\n  run1: %s\n  run2: %s", i, log1[i], log2[i])
+		}
+	}
+}
+
+func TestAcceptBacklogOverflow(t *testing.T) {
+	// Server listens with a backlog of 1 and never accepts: the first
+	// connection queues; the rest are refused with RST at the accept
+	// event, surfacing as ECONNRESET on the client.
+	srv := ixnet.Factory(func(n *ixnet.Net) {
+		if _, err := n.ListenBacklog(port, 1); err != nil {
+			panic(err)
+		}
+		n.Sleep(time.Hour)
+	})
+	var timeouts, resets, other int
+	pair(srv, func(n *ixnet.Net, srv wire.IPv4) {
+		conns := make([]net.Conn, 0, 4)
+		for i := 0; i < 4; i++ {
+			c, err := n.Dial(srv, port)
+			if err != nil {
+				other++
+				continue
+			}
+			c.Write([]byte("x"))
+			conns = append(conns, c)
+		}
+		for _, c := range conns {
+			c.SetReadDeadline(n.Now().Add(5 * time.Millisecond))
+			_, err := c.Read(make([]byte, 16))
+			switch {
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				timeouts++
+			case errors.Is(err, syscall.ECONNRESET):
+				resets++
+			default:
+				other++
+			}
+			c.Close()
+		}
+	}, 60*time.Millisecond)
+	if timeouts != 1 || resets != 3 || other != 0 {
+		t.Errorf("got timeouts=%d resets=%d other=%d, want 1 queued (timeout) and 3 refused (reset)",
+			timeouts, resets, other)
+	}
+}

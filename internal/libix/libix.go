@@ -56,6 +56,7 @@ func Program(factory app.Factory) func(api *core.UserAPI, thread, threads int) c
 			conns:   make(map[uint64]*conn),
 		}
 		p.handler = factory(p, thread, threads)
+		p.sendReady, _ = p.handler.(app.SendReadyHandler)
 		return p
 	}
 }
@@ -65,8 +66,14 @@ type program struct {
 	api     *core.UserAPI
 	txchunk *mem.TxChunkPool
 	handler app.Handler
-	conns   map[uint64]*conn
-	dirty   []*conn // connections with work to flush this round
+	// sendReady is the handler's optional writable-again extension
+	// (nil when not implemented).
+	sendReady app.SendReadyHandler
+	conns     map[uint64]*conn
+	dirty     []*conn // connections with work to flush this round
+	// waiters are connections whose send-ready condition is armed, in
+	// registration order (delivery order is therefore deterministic).
+	waiters []*conn
 }
 
 // conn is the user-level connection state: the zero-copy TX arena, the
@@ -90,7 +97,16 @@ type conn struct {
 	txBytes int
 	issued  bool // a sendv is in the current batch
 	stalled bool // last sendv was trimmed; wait for a sent event
+	// closing: Close was called with bytes still in the txq; the close
+	// syscall is deferred until the transmit vector drains, so queued
+	// data reaches the wire ahead of the FIN.
+	closing bool
 	closed  bool
+	// wantReady: the send-ready condition is armed (the conn sits in
+	// p.waiters); blockedPool refines it — the short Send hit chunk-pool
+	// exhaustion, so delivery also waits for the pool to reopen.
+	wantReady   bool
+	blockedPool bool
 
 	// Receive recycling accumulated during this round. rdBufs and
 	// rdSpare ping-pong: the batch issued to recv_done is consumed (and
@@ -117,25 +133,32 @@ var _ app.Conn = (*conn)(nil)
 //
 //ix:hotpath
 func (c *conn) Send(b []byte) int {
-	if c.closed {
+	if c.closed || c.closing {
 		return 0
 	}
+	want := len(b)
 	room := MaxPendingSend - c.txBytes
 	if room <= 0 {
+		c.armSendReady(false)
 		return 0
 	}
 	if len(b) > room {
 		b = b[:room]
 	}
 	accepted := 0
+	pool := false
 	for len(b) > 0 {
 		v := c.arena.Append(b)
 		if len(v) == 0 {
+			pool = true
 			break // chunk pool exhausted: accept what we have
 		}
 		c.pushTx(v)
 		accepted += len(v)
 		b = b[len(v):]
+	}
+	if accepted < want {
+		c.armSendReady(pool)
 	}
 	if accepted == 0 {
 		return 0
@@ -167,14 +190,49 @@ func (c *conn) pushTx(v []byte) {
 	c.txq = append(c.txq, v)
 }
 
+// armSendReady arms the writable-again condition after a short Send; a
+// no-op unless the thread's handler implements app.SendReadyHandler.
+// pool marks that the shortfall came from chunk-pool exhaustion rather
+// than the pending-send budget.
+//
+//ix:hotpath
+func (c *conn) armSendReady(pool bool) {
+	if pool {
+		c.blockedPool = true
+	}
+	if c.p.sendReady == nil || c.wantReady {
+		return
+	}
+	c.wantReady = true
+	c.p.waiters = append(c.p.waiters, c)
+}
+
 // Unsent reports bytes not yet accepted by the dataplane.
 func (c *conn) Unsent() int { return c.txBytes }
 
-// Close requests an orderly close after pending data drains.
+// Close requests an orderly close after pending data drains: when the
+// transmit vector still holds bytes, the close syscall — which would
+// sequence the FIN at sndNxt, ahead of them — is deferred until the
+// sent event condition drains the vector. Further writes are rejected.
 func (c *conn) Close() {
-	if c.closed {
+	if c.closed || c.closing {
 		return
 	}
+	if c.txBytes > 0 {
+		c.closing = true
+		return
+	}
+	c.closed = true
+	c.p.api.Close(c.handle)
+}
+
+// finishClose issues the deferred close syscall once the transmit
+// vector has fully drained.
+func (c *conn) finishClose() {
+	if !c.closing || c.closed || c.txBytes > 0 {
+		return
+	}
+	c.closing = false
 	c.closed = true
 	c.p.api.Close(c.handle)
 }
@@ -184,6 +242,7 @@ func (c *conn) Abort() {
 	if c.closed {
 		return
 	}
+	c.closing = false
 	c.closed = true
 	c.p.api.Abort(c.handle)
 }
@@ -248,7 +307,13 @@ func (p *program) Run(api *core.UserAPI, events []core.Event, results []core.Sys
 	for i := range events {
 		p.processEvent(&events[i])
 	}
-	// 3. Coalesced flush: one sendv per dirty connection, plus batched
+	// 3. Writable-again deliveries: after results reopened pending-send
+	// budgets and events released arena chunks, wake armed writers whose
+	// shortfall has actually cleared (so every wake makes progress).
+	if len(p.waiters) > 0 {
+		p.fireSendReady()
+	}
+	// 4. Coalesced flush: one sendv per dirty connection, plus batched
 	// recv_done recycling.
 	for _, c := range p.dirty {
 		c.inDirty = false
@@ -301,6 +366,38 @@ func (p *program) processResult(r *core.SyscallResult) {
 			// re-issue (§4.3).
 			c.stalled = true
 		}
+		// A deferred orderly close fires once the vector drains.
+		c.finishClose()
+	}
+}
+
+// fireSendReady delivers the writable-again condition to armed writers
+// whose shortfall cleared: pending-send budget reopened and — for
+// pool-blocked writers — the thread's chunk pool can allocate again.
+// Writers still blocked re-queue in order, so delivery stays FIFO and
+// deterministic and no wake is a spin.
+func (p *program) fireSendReady() {
+	w := p.waiters
+	p.waiters = nil
+	for i, c := range w {
+		w[i] = nil
+		if c.p != p {
+			// Migrated away mid-round; the new home re-armed it.
+			continue
+		}
+		if c.closed || c.closing {
+			c.wantReady = false
+			c.blockedPool = false
+			continue
+		}
+		if MaxPendingSend-c.txBytes <= 0 || (c.blockedPool && !p.txchunk.Ready()) {
+			p.waiters = append(p.waiters, c)
+			continue
+		}
+		c.wantReady = false
+		c.blockedPool = false
+		p.api.Charge(dispatchCost)
+		p.sendReady.OnSendReady(c)
 	}
 }
 
@@ -444,6 +541,17 @@ func (p *program) processEvent(ev *core.Event) {
 		p.conns[ev.Handle] = c
 		if c.txBytes > 0 || c.rdBytes > 0 || len(c.rdBufs) > 0 {
 			c.markDirty()
+		}
+		// An armed send-ready condition migrates with the connection:
+		// the old program's waiter entry goes stale (c.p moved on) and
+		// the new home registers its own.
+		if c.wantReady {
+			c.wantReady = false
+			if p.sendReady != nil {
+				c.armSendReady(c.blockedPool)
+			} else {
+				c.blockedPool = false
+			}
 		}
 	}
 }

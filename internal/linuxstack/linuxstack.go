@@ -164,6 +164,7 @@ func (h *Host) Start() {
 	}
 	for _, k := range h.cores {
 		k.handler = h.cfg.Factory(k.env(), k.id, h.cfg.Cores)
+		k.sendReady, _ = k.handler.(app.SendReadyHandler)
 		k.maybeWakeApp()
 	}
 }
@@ -246,6 +247,9 @@ type kcore struct {
 	txq  *nicsim.TxQueue
 
 	handler app.Handler
+	// sendReady is the handler's optional writable-again extension
+	// (nil when not implemented; cached so sockets test once).
+	sendReady app.SendReadyHandler
 
 	// epoll state.
 	readyQ     []*sock
@@ -510,6 +514,12 @@ func (k *kcore) dispatch(s *sock) {
 		n := s.sentPending
 		s.sentPending = 0
 		k.handler.OnSent(s, n)
+	}
+	if s.readyPending {
+		s.readyPending = false
+		if k.sendReady != nil && !s.dead && !s.closing {
+			k.sendReady.OnSendReady(s)
+		}
 	}
 	if s.eofPending {
 		s.eofPending = false

@@ -36,6 +36,18 @@ type sock struct {
 	eofPending       bool
 	deadPending      bool
 	dead             bool
+
+	// closing: close(2) was called; the FIN is owed but deferred until
+	// the kernel sndbuf drains (finSent marks it issued). Linux never
+	// drops buffered bytes on close — the kernel keeps flushing and
+	// sequences the FIN after the data.
+	closing bool
+	finSent bool
+	// wantReady arms the writable-again edge for a handler that
+	// implements app.SendReadyHandler after a short write; readyPending
+	// carries the armed edge to the app thread's dispatch.
+	wantReady    bool
+	readyPending bool
 }
 
 var _ app.Conn = (*sock)(nil)
@@ -43,7 +55,7 @@ var _ app.Conn = (*sock)(nil)
 // Send is write(2): syscall entry, kernel copy, inline TCP transmit of
 // whatever the window takes, kernel sndbuf for the rest.
 func (s *sock) Send(b []byte) int {
-	if s.dead || s.conn == nil {
+	if s.dead || s.conn == nil || s.closing {
 		return 0
 	}
 	k := s.k
@@ -51,10 +63,12 @@ func (s *sock) Send(b []byte) int {
 	k.chargeK(c.SyscallEntry + c.SockWrite + c.CopyPerByte.Cost(len(b)))
 	room := sndbufMax - len(s.sndbuf)
 	if room <= 0 {
+		s.armSendReady()
 		return 0
 	}
 	if len(b) > room {
 		b = b[:room]
+		s.armSendReady()
 	}
 	// The kernel owns a copy of the data from here on.
 	s.sndbuf = append(s.sndbuf, b...)
@@ -83,16 +97,34 @@ func (s *sock) flushSnd() {
 	}
 }
 
+// armSendReady arms the writable-again edge after a short write; a
+// no-op unless the core's handler implements app.SendReadyHandler.
+func (s *sock) armSendReady() {
+	if s.k.sendReady == nil || s.dead || s.closing {
+		return
+	}
+	s.wantReady = true
+}
+
 // Unsent reports kernel-buffered bytes not yet accepted by TCP.
 func (s *sock) Unsent() int { return len(s.sndbuf) }
 
-// Close is close(2) → FIN.
+// Close is close(2) → FIN. Bytes still in the kernel sndbuf are not
+// dropped: the ACK-driven flush keeps running and the FIN is issued
+// only once the buffer drains, so queued data reaches the wire first.
+// Further writes are rejected (the fd is gone).
 func (s *sock) Close() {
-	if s.dead || s.conn == nil {
+	if s.dead || s.conn == nil || s.closing {
 		return
 	}
 	s.k.chargeK(s.k.h.cfg.Cost.SyscallEntry)
-	s.conn.Close()
+	s.closing = true
+	s.wantReady = false
+	if len(s.sndbuf) == 0 {
+		s.finSent = true
+		s.conn.Close()
+	}
+	// Otherwise the FIN is owed to kernelEvents.Sent.
 }
 
 // Abort is close(2) with SO_LINGER 0 → RST.
@@ -177,10 +209,24 @@ func (ke *kernelEvents) Sent(c *tcp.Conn, acked, released int) {
 	}
 	// ACK-clocked transmit from softirq context.
 	s.flushSnd()
+	// A deferred close(2) issues its FIN the moment the buffer drains.
+	if s.closing && !s.finSent && len(s.sndbuf) == 0 {
+		s.finSent = true
+		s.conn.Close()
+		return
+	}
 	// Only wake the app for write-readiness when it still has buffered
 	// data (libevent-style write events are enabled on demand).
-	if acked > 0 && len(s.sndbuf) > 0 {
+	if acked > 0 && len(s.sndbuf) > 0 && !s.closing {
 		s.sentPending += acked
+		s.k.enqueueReady(s)
+	}
+	// Writable-again edge: a writer that saw a short write wakes once —
+	// and only once the buffer has actually reopened, so a fully drained
+	// sndbuf (which the wake above never covers) still signals.
+	if s.wantReady && len(s.sndbuf) < sndbufMax {
+		s.wantReady = false
+		s.readyPending = true
 		s.k.enqueueReady(s)
 	}
 }

@@ -128,6 +128,14 @@ func (p *TxChunkPool) put(k *TxChunk) {
 // InUse returns the number of chunks held by arenas.
 func (p *TxChunkPool) InUse() int { return p.inUse }
 
+// Ready reports whether the next Alloc will succeed: a chunk on the
+// free list, a page-backed spare awaiting materialization, or region
+// capacity for another page. The send-ready condition uses this to
+// avoid waking a pool-blocked writer into another failed allocation.
+func (p *TxChunkPool) Ready() bool {
+	return len(p.free) > 0 || p.spare > 0 || p.region.Used() < p.region.Cap()
+}
+
 // Provisioned returns the number of chunks backed by pages so far.
 func (p *TxChunkPool) Provisioned() int { return p.allocated }
 

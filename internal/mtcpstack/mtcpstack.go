@@ -125,6 +125,7 @@ func (h *Host) Start() {
 	}
 	for _, m := range h.cores {
 		m.handler = h.cfg.Factory(m.env(), m.id, h.cfg.Cores)
+		m.sendReady, _ = m.handler.(app.SendReadyHandler)
 		m.kickApp()
 	}
 }
@@ -157,6 +158,9 @@ type mcore struct {
 	txq   *nicsim.TxQueue
 
 	handler app.Handler
+	// sendReady is the handler's optional writable-again extension
+	// (nil when not implemented).
+	sendReady app.SendReadyHandler
 
 	// Event queue: TCP thread → app thread (batched).
 	evQ        []*mconn
@@ -375,6 +379,13 @@ func (m *mcore) dispatch(mc *mconn, meter *sim.Meter) {
 		meter.Charge(c.AppCall)
 		m.handler.OnSent(mc, n)
 	}
+	if mc.readyPending {
+		mc.readyPending = false
+		if m.sendReady != nil && !mc.dead && !mc.closing {
+			meter.Charge(c.AppCall)
+			m.sendReady.OnSendReady(mc)
+		}
+	}
 	if mc.eofPending {
 		mc.eofPending = false
 		m.handler.OnEOF(mc)
@@ -512,6 +523,16 @@ type mconn struct {
 	eofPending       bool
 	deadPending      bool
 	dead             bool
+
+	// closing: mtcp_close was called; the FIN is owed but deferred until
+	// the user-level sndbuf drains (finSent marks it issued), so bytes
+	// queued before close reach the wire first.
+	closing bool
+	finSent bool
+	// wantReady arms the writable-again edge after a short Send;
+	// readyPending carries the armed edge to the app thread's dispatch.
+	wantReady    bool
+	readyPending bool
 }
 
 var _ app.Conn = (*mconn)(nil)
@@ -519,7 +540,7 @@ var _ app.Conn = (*mconn)(nil)
 // Send is mtcp_write: copy into the user-level send buffer and queue a
 // write job for the TCP thread.
 func (c *mconn) Send(b []byte) int {
-	if c.dead {
+	if c.dead || c.closing {
 		return 0
 	}
 	m := c.m
@@ -529,14 +550,25 @@ func (c *mconn) Send(b []byte) int {
 	}
 	room := sndbufMax - len(c.sndbuf)
 	if room <= 0 {
+		c.armSendReady()
 		return 0
 	}
 	if len(b) > room {
 		b = b[:room]
+		c.armSendReady()
 	}
 	c.sndbuf = append(c.sndbuf, b...)
 	m.queueJob(c.flushSnd)
 	return len(b)
+}
+
+// armSendReady arms the writable-again edge after a short Send; a no-op
+// unless the core's handler implements app.SendReadyHandler.
+func (c *mconn) armSendReady() {
+	if c.m.sendReady == nil || c.dead || c.closing {
+		return
+	}
+	c.wantReady = true
 }
 
 // flushSnd runs on the TCP thread.
@@ -561,16 +593,30 @@ func (c *mconn) flushSnd() {
 // Unsent reports user-level buffered bytes.
 func (c *mconn) Unsent() int { return len(c.sndbuf) }
 
-// Close queues an orderly close job.
+// Close queues an orderly close job. Bytes still in the user-level
+// sndbuf are not dropped: the FIN is deferred until the ACK-driven
+// flush drains the buffer, so queued data reaches the wire first.
+// Further writes are rejected (mTCP marks the socket closed).
 func (c *mconn) Close() {
-	if c.dead {
+	if c.dead || c.closing {
 		return
 	}
-	c.m.queueJob(func() {
-		if c.conn != nil {
-			c.conn.Close()
-		}
-	})
+	c.closing = true
+	c.wantReady = false
+	c.m.queueJob(c.finishClose)
+}
+
+// finishClose runs on the TCP thread: issue the FIN once the sndbuf is
+// empty; otherwise the FIN stays owed to mtcpEvents.Sent.
+func (c *mconn) finishClose() {
+	if !c.closing || c.finSent || c.dead || c.conn == nil {
+		return
+	}
+	if len(c.sndbuf) > 0 {
+		return
+	}
+	c.finSent = true
+	c.conn.Close()
 }
 
 // Abort queues a RST close job.
@@ -640,8 +686,19 @@ func (me *mtcpEvents) Sent(c *tcp.Conn, acked, released int) {
 		return
 	}
 	mc.flushSnd()
-	if acked > 0 && len(mc.sndbuf) > 0 {
+	// A deferred mtcp_close issues its FIN the moment the buffer drains.
+	if mc.closing {
+		mc.finishClose()
+	}
+	if acked > 0 && len(mc.sndbuf) > 0 && !mc.closing {
 		mc.sentPending += acked
+		m.enqueueEv(mc)
+	}
+	// Writable-again edge: a writer that saw a short Send wakes once the
+	// buffer has actually reopened.
+	if mc.wantReady && len(mc.sndbuf) < sndbufMax {
+		mc.wantReady = false
+		mc.readyPending = true
 		m.enqueueEv(mc)
 	}
 }

@@ -292,7 +292,8 @@ func NewArbiter(eng *sim.Engine, pol ArbiterPolicy, budget int, members ...*Arbi
 func BuildTenants(s TenantsSetup) *TenantCluster { return harness.BuildTenants(s) }
 
 // Experiments maps experiment names (fig2, fig3a, fig3b, fig3c, fig4,
-// fig5, fig6, table2, elastic, incast, chaos, tenants) to their runners.
+// fig5, fig6, table2, elastic, incast, chaos, tenants, httpkv) to their
+// runners.
 var Experiments = harness.Experiments
 
 // RunExperiment regenerates one paper figure/table at the given scale.
@@ -331,6 +332,18 @@ func RunMemcached(s harness.MemcSetup) harness.MemcResult { return harness.RunMe
 
 // MemcSetup configures RunMemcached.
 type MemcSetup = harness.MemcSetup
+
+// RunHTTPKV executes one measurement point of the httpkv composite
+// application: an HTTP/1.1 echo tier plus a redis-like KV tier, written
+// purely against net.Conn via the ixnet blocking facade and bridged onto
+// the event-driven stacks by deterministic fibers.
+func RunHTTPKV(s harness.HTTPKVSetup) harness.HTTPKVResult { return harness.RunHTTPKV(s) }
+
+// HTTPKVSetup configures RunHTTPKV.
+type HTTPKVSetup = harness.HTTPKVSetup
+
+// HTTPKVResult is one httpkv measurement point.
+type HTTPKVResult = harness.HTTPKVResult
 
 // SLA is the paper's 500 µs 99th-percentile service level agreement.
 const SLA = harness.SLA
