@@ -67,10 +67,19 @@ func BenchmarkFig3cMsgSize(b *testing.B) {
 }
 
 // BenchmarkFig4ConnScaling regenerates Figure 4 (connection scalability).
+// Besides the peak message rate it reports the per-connection memory at
+// the largest population (the DESIGN.md bytes/conn budget); the metric
+// name carries "bytes" so benchjson gates it lower-is-better.
 func BenchmarkFig4ConnScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := harness.Fig4(benchScale)
 		reportPeak(b, r, "IX-40", "IX40_peak_msgs")
+		if v, ok := r.Scalar("IX-40 bytes/conn"); ok {
+			b.ReportMetric(v, "IX40_bytes_per_conn")
+		}
+		if v, ok := r.Scalar("Linux-40 bytes/conn"); ok {
+			b.ReportMetric(v, "Linux40_bytes_per_conn")
+		}
 	}
 }
 

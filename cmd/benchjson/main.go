@@ -4,14 +4,22 @@
 // performance trajectory of the reproduction is tracked across PRs.
 //
 // With -compare it also diffs the new record against a previous PR's
-// file and fails (exit 1) when a gated benchmark's wall-clock regressed
-// beyond -maxregress — the CI guard that keeps the figure benchmarks
-// from quietly slowing down.
+// file and fails (exit 1) when a gated benchmark regressed beyond
+// -maxregress — the CI guard that keeps the figure benchmarks from
+// quietly slowing down.
+//
+// A gate entry is either a benchmark name (sans Benchmark prefix),
+// which gates wall-clock, or "Name:metric", which gates one of the
+// benchmark's ReportMetric values. Metric gates are direction-aware:
+// a metric whose name mentions bytes (a memory budget, e.g.
+// IX40_bytes_per_conn) is lower-is-better and fails when it grows
+// beyond the budget; any other metric (a rate) is higher-is-better and
+// fails when it shrinks beyond the budget.
 //
 // Usage:
 //
 //	go test -run=NONE -bench='BenchmarkFig|BenchmarkTable2' -benchtime=1x . | benchjson > BENCH_PR3.json
-//	... | benchjson -compare BENCH_PR2.json -gate Fig3aCoreScaling,Fig3bMsgsPerConn -maxregress 0.10 > BENCH_PR3.json
+//	... | benchjson -compare BENCH_PR2.json -gate Fig3aCoreScaling,Fig4ConnScaling:IX40_bytes_per_conn -maxregress 0.10 > BENCH_PR3.json
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -102,8 +111,7 @@ func main() {
 	}
 }
 
-// diffAgainst reports the wall-clock trajectory versus a previous record
-// and returns false when a gated benchmark regressed beyond the budget.
+// diffAgainst loads a previous record file and runs diff against it.
 func diffAgainst(rec *Record, path string, gated []string, budget float64) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -115,43 +123,105 @@ func diffAgainst(rec *Record, path string, gated []string, budget float64) bool 
 		fmt.Fprintf(os.Stderr, "benchjson: compare %s: %v\n", path, err)
 		return false
 	}
-	prev := map[string]float64{}
-	for _, b := range old.Benchmarks {
-		prev[b.Name] = b.WallNsPerOp
+	return diff(rec, &old, path, gated, budget, os.Stderr)
+}
+
+// lowerIsBetter classifies a gated metric's good direction: memory
+// budgets (anything byte-valued) must not grow; every other metric is a
+// rate that must not shrink.
+func lowerIsBetter(metric string) bool {
+	m := strings.ToLower(metric)
+	return strings.Contains(m, "bytes") || strings.Contains(m, "_b_") ||
+		strings.HasSuffix(m, "_b")
+}
+
+// diff reports the trajectory of the new record versus a previous one
+// and returns false when a gated quantity regressed beyond the budget.
+// Wall-clock gates ("Name") regress upward; metric gates ("Name:metric")
+// are direction-aware via lowerIsBetter.
+func diff(rec, old *Record, path string, gated []string, budget float64, w io.Writer) bool {
+	prev := map[string]*Bench{}
+	for i := range old.Benchmarks {
+		prev[old.Benchmarks[i].Name] = &old.Benchmarks[i]
 	}
-	isGated := map[string]bool{}
+	// Gate entries: bare benchmark names gate wall-clock, "Name:metric"
+	// entries gate one reported metric. The entry order is preserved so
+	// the report reads in the order the gate list was written.
+	wallGate := map[string]bool{}
+	type metricGate struct{ name, metric string }
+	var metricGates []metricGate
+	var wallNames []string
 	for _, g := range gated {
-		if g = strings.TrimSpace(g); g != "" {
-			isGated[g] = true
+		if g = strings.TrimSpace(g); g == "" {
+			continue
+		}
+		if name, metric, found := strings.Cut(g, ":"); found {
+			metricGates = append(metricGates, metricGate{name, metric})
+		} else if !wallGate[g] {
+			wallGate[g] = true
+			wallNames = append(wallNames, g)
 		}
 	}
 	ok := true
 	regressed := false
 	// A gated benchmark missing from the new run means the guard did not
 	// run — fail loudly rather than silently passing. Missing from the
-	// baseline is different: the benchmark was added this PR, so its
-	// trajectory starts with this record and gating begins next PR.
-	cur := map[string]bool{}
-	for _, b := range rec.Benchmarks {
-		cur[b.Name] = true
+	// baseline is different: the benchmark (or metric) was added this PR,
+	// so its trajectory starts with this record and gating begins next PR.
+	cur := map[string]*Bench{}
+	for i := range rec.Benchmarks {
+		cur[rec.Benchmarks[i].Name] = &rec.Benchmarks[i]
 	}
-	for g := range isGated {
-		if !cur[g] {
-			fmt.Fprintf(os.Stderr, "benchjson: gated benchmark %s missing from the new run\n", g)
+	for _, g := range wallNames {
+		if cur[g] == nil {
+			fmt.Fprintf(w, "benchjson: gated benchmark %s missing from the new run\n", g)
 			ok = false
 		}
-		if _, seen := prev[g]; !seen {
-			fmt.Fprintf(os.Stderr, "benchjson: gated benchmark %s is new (absent from %s); gating starts with the next baseline\n", g, path)
+		if prev[g] == nil {
+			fmt.Fprintf(w, "benchjson: gated benchmark %s is new (absent from %s); gating starts with the next baseline\n", g, path)
 		}
 	}
-	for _, b := range rec.Benchmarks {
-		was, seen := prev[b.Name]
-		if !seen || was <= 0 || b.WallNsPerOp <= 0 {
+	for _, g := range metricGates {
+		name, m := g.name, g.metric
+		b := cur[name]
+		if b == nil || b.Metrics[m] == 0 {
+			fmt.Fprintf(w, "benchjson: gated metric %s:%s missing from the new run\n", name, m)
+			ok = false
 			continue
 		}
+		p := prev[name]
+		if p == nil || p.Metrics[m] == 0 {
+			fmt.Fprintf(w, "benchjson: gated metric %s:%s is new (absent from %s); gating starts with the next baseline\n", name, m, path)
+			continue
+		}
+		was, now := p.Metrics[m], b.Metrics[m]
+		delta := now/was - 1
+		var bad bool
+		dir := "higher-is-better"
+		if lowerIsBetter(m) {
+			dir = "lower-is-better"
+			bad = delta > budget // a budget must not grow
+		} else {
+			bad = -delta > budget // a rate must not shrink
+		}
+		status := " [gated]"
+		if bad {
+			status = " [gated: FAIL]"
+			ok = false
+			regressed = true
+		}
+		fmt.Fprintf(w, "benchjson: %-22s %s %10.4g -> %10.4g  %+6.1f%% (%s)%s\n",
+			name, m, was, now, delta*100, dir, status)
+	}
+	for _, b := range rec.Benchmarks {
+		p := prev[b.Name]
+		if p == nil || p.WallNsPerOp <= 0 || b.WallNsPerOp <= 0 {
+			continue
+		}
+		was := p.WallNsPerOp
 		delta := b.WallNsPerOp/was - 1
 		status := ""
-		if isGated[b.Name] {
+		if wallGate[b.Name] {
 			status = " [gated]"
 			if delta > budget {
 				status = " [gated: FAIL]"
@@ -159,14 +229,14 @@ func diffAgainst(rec *Record, path string, gated []string, budget float64) bool 
 				regressed = true
 			}
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %-22s %8.2fs -> %8.2fs  %+6.1f%%%s\n",
+		fmt.Fprintf(w, "benchjson: %-22s %8.2fs -> %8.2fs  %+6.1f%%%s\n",
 			b.Name, was/1e9, b.WallNsPerOp/1e9, delta*100, status)
 	}
 	if regressed {
-		fmt.Fprintf(os.Stderr, "benchjson: gated wall-clock regression exceeds %.0f%% vs %s\n",
+		fmt.Fprintf(w, "benchjson: gated regression exceeds %.0f%% vs %s\n",
 			budget*100, path)
 	} else if !ok {
-		fmt.Fprintf(os.Stderr, "benchjson: gated benchmark(s) missing; the regression guard did not run\n")
+		fmt.Fprintf(w, "benchjson: gated quantity missing; the regression guard did not run\n")
 	}
 	return ok
 }

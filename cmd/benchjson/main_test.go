@@ -1,0 +1,123 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(benches ...Bench) *Record { return &Record{Benchmarks: benches} }
+
+func bench(name string, wall float64, metrics map[string]float64) Bench {
+	if metrics == nil {
+		metrics = map[string]float64{}
+	}
+	return Bench{Name: name, Iterations: 1, WallNsPerOp: wall, Metrics: metrics}
+}
+
+func TestParseBench(t *testing.T) {
+	b, ok := parseBench("BenchmarkFig4ConnScaling	       1	123456789 ns/op	       449.6 IX40_bytes_per_conn	   1680000 IX40_peak_msgs")
+	if !ok {
+		t.Fatal("parseBench failed")
+	}
+	if b.Name != "Fig4ConnScaling" || b.WallNsPerOp != 123456789 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.Metrics["IX40_bytes_per_conn"] != 449.6 || b.Metrics["IX40_peak_msgs"] != 1680000 {
+		t.Fatalf("metrics %+v", b.Metrics)
+	}
+}
+
+func TestLowerIsBetter(t *testing.T) {
+	cases := map[string]bool{
+		"IX40_bytes_per_conn": true,
+		"heap_bytes":          true,
+		"peak_msgs":           false,
+		"IX_peak_Gbps":        false,
+		"USR_IX_SLA_RPS":      false,
+	}
+	for m, want := range cases {
+		if got := lowerIsBetter(m); got != want {
+			t.Errorf("lowerIsBetter(%q) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+// Wall-clock gating semantics are unchanged: growth beyond the budget
+// fails, shrinkage never does.
+func TestDiffWallGate(t *testing.T) {
+	old := rec(bench("Fig4", 100, nil))
+	var out strings.Builder
+	if !diff(rec(bench("Fig4", 105, nil)), old, "old.json", []string{"Fig4"}, 0.10, &out) {
+		t.Errorf("5%% wall growth within 10%% budget failed:\n%s", out.String())
+	}
+	out.Reset()
+	if diff(rec(bench("Fig4", 120, nil)), old, "old.json", []string{"Fig4"}, 0.10, &out) {
+		t.Errorf("20%% wall growth passed a 10%% budget:\n%s", out.String())
+	}
+	out.Reset()
+	if !diff(rec(bench("Fig4", 50, nil)), old, "old.json", []string{"Fig4"}, 0.10, &out) {
+		t.Errorf("wall speedup failed the gate:\n%s", out.String())
+	}
+}
+
+// A byte-valued metric gate is lower-is-better: growth beyond the budget
+// fails; any reduction passes.
+func TestDiffMetricGateBytes(t *testing.T) {
+	gate := []string{"Fig4:IX40_bytes_per_conn"}
+	old := rec(bench("Fig4", 100, map[string]float64{"IX40_bytes_per_conn": 660}))
+	var out strings.Builder
+	if !diff(rec(bench("Fig4", 100, map[string]float64{"IX40_bytes_per_conn": 450})), old,
+		"old.json", gate, 0.05, &out) {
+		t.Errorf("bytes/conn reduction failed the gate:\n%s", out.String())
+	}
+	out.Reset()
+	if diff(rec(bench("Fig4", 100, map[string]float64{"IX40_bytes_per_conn": 700})), old,
+		"old.json", gate, 0.05, &out) {
+		t.Errorf("bytes/conn growth beyond budget passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "lower-is-better") {
+		t.Errorf("report does not state the gate direction:\n%s", out.String())
+	}
+	out.Reset()
+	if !diff(rec(bench("Fig4", 100, map[string]float64{"IX40_bytes_per_conn": 680})), old,
+		"old.json", gate, 0.05, &out) {
+		t.Errorf("3%% bytes/conn growth within a 5%% budget failed:\n%s", out.String())
+	}
+}
+
+// A rate metric gate is higher-is-better: shrinkage beyond the budget
+// fails; growth passes.
+func TestDiffMetricGateRate(t *testing.T) {
+	gate := []string{"Fig4:IX40_peak_msgs"}
+	old := rec(bench("Fig4", 100, map[string]float64{"IX40_peak_msgs": 1000}))
+	var out strings.Builder
+	if diff(rec(bench("Fig4", 100, map[string]float64{"IX40_peak_msgs": 800})), old,
+		"old.json", gate, 0.10, &out) {
+		t.Errorf("20%% rate drop passed a 10%% budget:\n%s", out.String())
+	}
+	out.Reset()
+	if !diff(rec(bench("Fig4", 100, map[string]float64{"IX40_peak_msgs": 1200})), old,
+		"old.json", gate, 0.10, &out) {
+		t.Errorf("rate growth failed the gate:\n%s", out.String())
+	}
+}
+
+// A gated metric missing from the new run means the guard did not run —
+// that must fail loudly. Missing from the baseline starts its trajectory.
+func TestDiffMetricGateMissing(t *testing.T) {
+	gate := []string{"Fig4:IX40_bytes_per_conn"}
+	old := rec(bench("Fig4", 100, map[string]float64{"IX40_bytes_per_conn": 660}))
+	var out strings.Builder
+	if diff(rec(bench("Fig4", 100, nil)), old, "old.json", gate, 0.05, &out) {
+		t.Errorf("missing gated metric passed:\n%s", out.String())
+	}
+	out.Reset()
+	oldNoMetric := rec(bench("Fig4", 100, nil))
+	if !diff(rec(bench("Fig4", 100, map[string]float64{"IX40_bytes_per_conn": 450})), oldNoMetric,
+		"old.json", gate, 0.05, &out) {
+		t.Errorf("metric new in this record failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "gating starts with the next baseline") {
+		t.Errorf("report does not note the fresh trajectory:\n%s", out.String())
+	}
+}

@@ -54,7 +54,7 @@ func TestDataplaneEndToEnd(t *testing.T) {
 			for _, ev := range events {
 				switch ev.Type {
 				case EvKnock:
-					api.Accept(ev.Handle, "srv-cookie")
+					api.Accept(ev.Handle, 0x517)
 				case EvRecv:
 					serverGot = append(serverGot, ev.Data...)
 					api.Sendv(ev.Handle, [][]byte{[]byte("pong")})
@@ -64,7 +64,7 @@ func TestDataplaneEndToEnd(t *testing.T) {
 		}}
 	}
 	client := func(api *UserAPI, thread, threads int) UserProgram {
-		api.Connect("cli-cookie", wire.Addr4(10, 0, 0, 2), 80)
+		api.Connect(0xc11, wire.Addr4(10, 0, 0, 2), 80)
 		return &scriptProgram{run: func(api *UserAPI, events []Event, results []SyscallResult) {
 			for _, r := range results {
 				if r.Type == SysConnect && r.Err == nil {
@@ -122,7 +122,7 @@ func TestMaliciousApp(t *testing.T) {
 			for _, ev := range events {
 				switch ev.Type {
 				case EvKnock:
-					api.Accept(ev.Handle, nil)
+					api.Accept(ev.Handle, 0)
 				case EvRecv:
 					gotMbuf = ev.Mbuf
 					// Attack 1: forge a handle.
@@ -143,7 +143,7 @@ func TestMaliciousApp(t *testing.T) {
 	}
 	var clientOK bool
 	client := func(api *UserAPI, thread, threads int) UserProgram {
-		api.Connect(nil, wire.Addr4(10, 0, 0, 2), 80)
+		api.Connect(0, wire.Addr4(10, 0, 0, 2), 80)
 		return &scriptProgram{run: func(api *UserAPI, events []Event, results []SyscallResult) {
 			for _, ev := range events {
 				switch ev.Type {

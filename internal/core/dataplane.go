@@ -9,6 +9,7 @@ import (
 	"ix/internal/dune"
 	"ix/internal/fabric"
 	"ix/internal/mem"
+	"ix/internal/memprobe"
 	"ix/internal/netstack"
 	"ix/internal/nicsim"
 	"ix/internal/sim"
@@ -37,6 +38,11 @@ type Config struct {
 	// RcvWnd, MinRTO tune the TCP engine.
 	RcvWnd int
 	MinRTO time.Duration
+	// ExpectedConns is the anticipated host-wide steady-state flow
+	// population; each elastic thread presizes its connection table,
+	// syscall gate and cookie table for its RSS share of it (0 = grow
+	// on demand).
+	ExpectedConns int
 	// Seed makes the instance deterministic.
 	Seed uint64
 	// Tenant is the isolation-accounting tag stamped on every frame
@@ -230,6 +236,30 @@ func (d *Dataplane) ConnCount() int {
 		n += et.ns.TCP().ConnCount()
 	}
 	return n
+}
+
+// Footprinter is implemented by user programs (libix) that account
+// their per-flow state under the memprobe contract.
+type Footprinter interface {
+	Footprint() memprobe.Footprint
+}
+
+// Footprint sums the dataplane's per-connection memory: each elastic
+// thread's TCP engine (PCBs, retransmission backing, timer nodes), its
+// capability table in the protection gate, and — when the user program
+// implements Footprinter — the ring-3 per-flow state (libix
+// descriptors and TX arenas), added as a layer over the same
+// connection population.
+func (d *Dataplane) Footprint() memprobe.Footprint {
+	var f memprobe.Footprint
+	for _, et := range d.threads {
+		f.Add(et.ns.TCP().Footprint())
+		f.Bytes += et.gate.FootprintBytes()
+		if fp, ok := et.user.(Footprinter); ok {
+			f.AddLayer(fp.Footprint())
+		}
+	}
+	return f
 }
 
 // missPenalty returns the per-packet LLC-miss stall given the current

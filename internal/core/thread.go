@@ -105,13 +105,26 @@ func (et *ElasticThread) Stack() *netstack.Stack { return et.ns }
 
 // newElasticThread wires up thread id on the dataplane.
 func newElasticThread(dp *Dataplane, id int) *ElasticThread {
+	// Per-thread share of the host's expected flow population: RSS
+	// spreads flows near-uniformly over the provisioned queue pairs.
+	expected := 0
+	if n := dp.cfg.ExpectedConns; n > 0 {
+		threads := dp.cfg.MaxThreads
+		if threads <= 0 {
+			threads = dp.cfg.Threads
+		}
+		if threads <= 0 {
+			threads = 1
+		}
+		expected = n / threads
+	}
 	et := &ElasticThread{
 		dp:         dp,
 		id:         id,
 		core:       sim.NewCore(dp.eng, id),
 		pool:       mem.NewMbufPool(dp.region, id),
 		txpool:     mem.NewTxChunkPool(dp.region, id),
-		gate:       dune.NewGate(id),
+		gate:       dune.NewGate(id, expected),
 		wheel:      timerwheel.New(timerwheel.DefaultTick, int64(dp.eng.Now())),
 		BatchHist:  stats.NewHistogram(),
 		userTimers: make(map[*userTimer]struct{}),
@@ -133,6 +146,8 @@ func newElasticThread(dp *Dataplane, id int) *ElasticThread {
 		Seed:      dp.cfg.Seed + uint64(id)*0x9e3779b97f4a7c15,
 		RcvWnd:    dp.cfg.RcvWnd,
 		MinRTO:    dp.cfg.MinRTO,
+
+		ExpectedConns: expected,
 		PortOK: func(p uint16, dst wire.IPv4, dport uint16) bool {
 			// Probe until replies for this flow RSS-hash to our queue.
 			ret := wire.FlowKey{
@@ -492,6 +507,11 @@ func (u *UserAPI) Thread() int { return u.et.id }
 // Threads returns the dataplane's current elastic thread count.
 func (u *UserAPI) Threads() int { return len(u.et.dp.threads) }
 
+// ExpectedConns reports the host-wide anticipated flow population from
+// the dataplane configuration (0 = unknown). User libraries presize
+// their connection tables from it.
+func (u *UserAPI) ExpectedConns() int { return u.et.dp.cfg.ExpectedConns }
+
 // Now returns virtual time (ns).
 func (u *UserAPI) Now() int64 { return int64(u.et.dp.eng.Now()) }
 
@@ -522,12 +542,12 @@ func (u *UserAPI) Queue(sc Syscall) {
 }
 
 // Connect issues a connect syscall.
-func (u *UserAPI) Connect(cookie any, dst wire.IPv4, port uint16) {
+func (u *UserAPI) Connect(cookie uint64, dst wire.IPv4, port uint16) {
 	u.Queue(Syscall{Type: SysConnect, Cookie: cookie, DstIP: dst, DstPort: port})
 }
 
 // Accept issues an accept syscall.
-func (u *UserAPI) Accept(handle uint64, cookie any) {
+func (u *UserAPI) Accept(handle uint64, cookie uint64) {
 	u.Queue(Syscall{Type: SysAccept, Handle: handle, Cookie: cookie})
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unsafe"
 )
 
 // Ring is a protection level.
@@ -104,13 +105,18 @@ func handleThread(h uint64) int { return int(h >> 48) }
 func handleGen(h uint64) uint16 { return uint16(h >> 32) }
 func handleIdx(h uint64) uint32 { return uint32(h) }
 
+// capEntry is one capability-table slot. Field order packs it into 24
+// bytes (interface word pair, then the narrow scalars): with one entry
+// per live flow, slot size is a direct term of the per-connection
+// memory budget.
 type capEntry struct {
-	gen  uint16
-	obj  any
-	live bool
+	obj any
 	// delivered tracks bytes delivered to user space and not yet
-	// returned by recv_done, for overrun validation.
-	delivered int
+	// returned by recv_done, for overrun validation; bounded by the
+	// flow's receive window, so 32 bits hold it.
+	delivered int32
+	gen       uint16
+	live      bool
 }
 
 // Gate is the per-elastic-thread system call gate: it owns the thread's
@@ -124,9 +130,17 @@ type Gate struct {
 	violations [vioCount]uint64
 }
 
-// NewGate creates the gate for elastic thread id.
-func NewGate(thread int) *Gate {
-	return &Gate{thread: thread}
+// NewGate creates the gate for elastic thread id. expected presizes the
+// capability table for the anticipated flow population (0 = grow on
+// demand): a presized table never pays append-doubling's transient
+// double allocation, and its capacity is exact rather than the next
+// power of two — both visible in the bytes/conn account.
+func NewGate(thread, expected int) *Gate {
+	g := &Gate{thread: thread}
+	if expected > 0 {
+		g.entries = make([]capEntry, 0, expected)
+	}
+	return g
 }
 
 // Grant installs obj (a dataplane flow) into the namespace and returns
@@ -193,7 +207,7 @@ func (g *Gate) Revoke(h uint64) {
 func (g *Gate) Delivered(h uint64, n int) {
 	idx := handleIdx(h)
 	if int(idx) < len(g.entries) && g.entries[idx].live {
-		g.entries[idx].delivered += n
+		g.entries[idx].delivered += int32(n)
 	}
 }
 
@@ -207,11 +221,11 @@ func (g *Gate) RecvDone(h uint64, n int) error {
 	}
 	_ = obj
 	e := &g.entries[handleIdx(h)]
-	if n > e.delivered {
+	if int32(n) > e.delivered {
 		g.violations[VioRecvDoneOverrun]++
 		return ErrRecvDone
 	}
-	e.delivered -= n
+	e.delivered -= int32(n)
 	return nil
 }
 
@@ -241,6 +255,16 @@ func (g *Gate) TotalViolations() uint64 {
 		t += v
 	}
 	return t
+}
+
+// FootprintBytes returns the capability-table bytes the gate pins: the
+// entries backing (live and freed slots — the table never shrinks below
+// its high-water mark) plus the free-index stack. The memprobe
+// per-connection accounting charges this to the thread's flow
+// population.
+func (g *Gate) FootprintBytes() int64 {
+	return int64(cap(g.entries))*int64(unsafe.Sizeof(capEntry{})) +
+		int64(cap(g.freeIdx))*int64(unsafe.Sizeof(uint32(0)))
 }
 
 // Live returns the number of live handles (for leak tests).

@@ -3,7 +3,7 @@ package dune
 import "testing"
 
 func TestHandleLifecycle(t *testing.T) {
-	g := NewGate(3)
+	g := NewGate(3, 0)
 	obj := "flow"
 	h := g.Grant(obj)
 	got, err := g.Lookup(h)
@@ -20,7 +20,7 @@ func TestHandleLifecycle(t *testing.T) {
 }
 
 func TestStaleGeneration(t *testing.T) {
-	g := NewGate(0)
+	g := NewGate(0, 0)
 	h1 := g.Grant("first")
 	g.Revoke(h1)
 	h2 := g.Grant("second") // reuses the slot with a new generation
@@ -39,8 +39,8 @@ func TestStaleGeneration(t *testing.T) {
 }
 
 func TestForeignHandleRejected(t *testing.T) {
-	g0 := NewGate(0)
-	g1 := NewGate(1)
+	g0 := NewGate(0, 0)
+	g1 := NewGate(1, 0)
 	h := g0.Grant("thread0 flow")
 	if _, err := g1.Lookup(h); err != ErrForeignHandle {
 		t.Fatalf("foreign handle error = %v", err)
@@ -51,14 +51,14 @@ func TestForeignHandleRejected(t *testing.T) {
 }
 
 func TestForgedHandleRejected(t *testing.T) {
-	g := NewGate(0)
+	g := NewGate(0, 0)
 	if _, err := g.Lookup(0xdead); err == nil {
 		t.Fatal("forged handle accepted")
 	}
 }
 
 func TestRecvDoneAccounting(t *testing.T) {
-	g := NewGate(0)
+	g := NewGate(0, 0)
 	h := g.Grant("flow")
 	g.Delivered(h, 100)
 	if err := g.RecvDone(h, 60); err != nil {
@@ -76,7 +76,7 @@ func TestRecvDoneAccounting(t *testing.T) {
 }
 
 func TestReadOnlyEnforcement(t *testing.T) {
-	g := NewGate(0)
+	g := NewGate(0, 0)
 	if err := g.CheckWritable(true); err != ErrReadOnly {
 		t.Fatalf("got %v", err)
 	}

@@ -15,6 +15,7 @@ import (
 	"ix/internal/faults"
 	"ix/internal/libix"
 	"ix/internal/linuxstack"
+	"ix/internal/memprobe"
 	"ix/internal/mtcpstack"
 	"ix/internal/netstack"
 	"ix/internal/nicsim"
@@ -72,7 +73,10 @@ type hostAdapter struct {
 	tenant int
 	frames func() int
 	chunks func() int
-	setShard func(sh int, r fabric.RemoteReleaser)
+	// footprint samples the host's per-connection memory under the
+	// memprobe contract (read-only; never perturbs the simulation).
+	footprint func() memprobe.Footprint
+	setShard  func(sh int, r fabric.RemoteReleaser)
 }
 
 func (h *hostAdapter) NIC() *nicsim.NIC        { return h.nic }
@@ -105,6 +109,10 @@ type HostSpec struct {
 	// accounting (0 = untagged): every frame the host originates
 	// charges this tag at shared switch egress.
 	Tenant int
+	// ExpectedConns presizes the host's connection tables (TCP engine,
+	// syscall gate / socket table, user-library cookie table) for the
+	// anticipated steady-state flow population (0 = grow on demand).
+	ExpectedConns int
 }
 
 // Cluster is the experiment testbed.
@@ -249,6 +257,8 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 			MinRTO:     spec.MinRTO,
 			Tenant:     spec.Tenant,
 			User:       libix.Program(spec.Factory),
+
+			ExpectedConns: spec.ExpectedConns,
 		}
 		if spec.IXCost != nil {
 			ccfg.Cost = *spec.IXCost
@@ -270,7 +280,8 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 				}
 				return n
 			},
-			setShard: dp.SetShard}
+			footprint: dp.Footprint,
+			setShard:  dp.SetShard}
 	case ArchLinux:
 		lh := linuxstack.New(heng, linuxstack.Config{
 			Name:    name,
@@ -281,12 +292,15 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 			Seed:    seed,
 			RcvWnd:  spec.RcvWnd,
 			MinRTO:  spec.MinRTO,
+
+			ExpectedConns: spec.ExpectedConns,
 		})
 		lh.Stack().FramePool().SetTenant(spec.Tenant)
 		c.linuxes = append(c.linuxes, lh)
 		h = &hostAdapter{nic: lh.NIC(), arp: lh.ARP(), ip: ip, mac: mac, start: lh.Start,
-			frames: func() int { return lh.Stack().FramePool().InUse() },
-			chunks: func() int { return 0 },
+			frames:    func() int { return lh.Stack().FramePool().InUse() },
+			chunks:    func() int { return 0 },
+			footprint: lh.Footprint,
 			setShard: func(sh int, r fabric.RemoteReleaser) {
 				lh.Stack().FramePool().SetShard(sh, r)
 			}}
@@ -300,6 +314,8 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 			Seed:    seed,
 			RcvWnd:  spec.RcvWnd,
 			MinRTO:  spec.MinRTO,
+
+			ExpectedConns: spec.ExpectedConns,
 		})
 		for i := 0; i < mh.Cores(); i++ {
 			mh.Stack(i).FramePool().SetTenant(spec.Tenant)
@@ -313,8 +329,9 @@ func (c *Cluster) AddHost(name string, spec HostSpec) Host {
 				}
 				return n
 			},
-			chunks: func() int { return 0 },
-			setShard: mh.SetShard}
+			chunks:    func() int { return 0 },
+			footprint: mh.Footprint,
+			setShard:  mh.SetShard}
 	default:
 		panic(fmt.Sprintf("harness: unknown arch %d", spec.Arch))
 	}
@@ -431,6 +448,14 @@ func (c *Cluster) FramesInUse() int {
 		n += h.(*hostAdapter).frames()
 	}
 	return n
+}
+
+// HostFootprint samples one host's per-connection memory under the
+// memprobe contract: live connections and the bytes they pin across
+// every layer of that host's stack. Read-only — safe to call between
+// engine steps without perturbing fixed-seed output.
+func (c *Cluster) HostFootprint(h Host) memprobe.Footprint {
+	return c.hosts[c.hostIndex(h)].(*hostAdapter).footprint()
 }
 
 // TxChunksInUse sums TX arena chunks held across every IX dataplane

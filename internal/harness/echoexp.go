@@ -38,6 +38,13 @@ type EchoSetup struct {
 	Rounds  int
 	MsgSize int
 
+	// ExpectedConns overrides the server's anticipated steady-state
+	// population for table presizing. Zero derives it from the static
+	// fleet shape (ClientHosts × ClientCores × ConnsPerThread); set it
+	// explicitly in persistent-cluster mode, where the population is
+	// established dynamically and ConnsPerThread is zero at build time.
+	ExpectedConns int
+
 	Warmup, Window time.Duration
 	Seed           int64
 
@@ -66,6 +73,10 @@ type EchoResult struct {
 	// ServerConns is the server's live connection count at window end
 	// (the established-connection axis of Fig. 4).
 	ServerConns int
+	// ServerBytesPerConn is the server's live per-connection memory at
+	// window end under the memprobe accounting contract (the Fig. 4
+	// bytes/conn budget).
+	ServerBytesPerConn float64
 }
 
 // echoPort is the well-known echo service port of the testbed.
@@ -82,13 +93,21 @@ func buildEchoCluster(s *EchoSetup, m *echo.Metrics, fl *echo.Fleet) *Cluster {
 		s.ServerPorts = 1
 	}
 	cl := NewClusterShards(s.Seed, s.Shards)
+	// The server's steady-state population is known up front — the
+	// fleet's full connection count — so its tables are presized
+	// instead of doubling their way up during the ramp.
+	expected := s.ExpectedConns
+	if expected == 0 {
+		expected = s.ClientHosts * s.ClientCores * s.ConnsPerThread
+	}
 	cl.AddHost("server", HostSpec{
-		Arch:       s.ServerArch,
-		Cores:      s.ServerCores,
-		Ports:      s.ServerPorts,
-		BatchBound: s.BatchBound,
-		IXCost:     s.IXCost,
-		Factory:    echo.ServerFactory(echoPort, s.MsgSize),
+		Arch:          s.ServerArch,
+		Cores:         s.ServerCores,
+		Ports:         s.ServerPorts,
+		BatchBound:    s.BatchBound,
+		IXCost:        s.IXCost,
+		Factory:       echo.ServerFactory(echoPort, s.MsgSize),
+		ExpectedConns: expected,
 	})
 	srvIP := cl.hosts[0].IP()
 	for i := 0; i < s.ClientHosts; i++ {
@@ -147,6 +166,7 @@ func collectEcho(cl *Cluster, s *EchoSetup, m *echo.Metrics, window time.Duratio
 	}
 	res.GoodputBps = res.MsgsPerSec * float64(s.MsgSize) * 8
 	res.ServerConns = echoServerConns(cl, s.ServerArch)
+	res.ServerBytesPerConn = cl.HostFootprint(cl.hosts[0]).PerConn()
 	if s.ServerArch == ArchIX {
 		dp := cl.IXServer(0)
 		k, u := dp.CPUBreakdown()

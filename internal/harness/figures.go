@@ -231,7 +231,13 @@ func Fig4(sc Scale) *Result {
 		XLabel: "connections",
 		YLabel: "messages/s",
 	}
-	counts := []int{10, 100, 1000, 10_000, 50_000, 100_000, 250_000}
+	// The paper's figure tops out at its testbed limit of 250k; the
+	// reproduction extends the axis to 1M connections (Scale.MaxConns
+	// caps how far a given run sweeps) to demonstrate that the
+	// per-connection memory budget — not a protocol or table limit — is
+	// what bounds the population (DESIGN.md, "Per-connection memory
+	// budget").
+	counts := []int{10, 100, 1000, 10_000, 50_000, 100_000, 250_000, 1_000_000}
 	configs := []echoConfig{
 		{"Linux-10", ArchLinux, 1},
 		{"Linux-40", ArchLinux, 4},
@@ -240,6 +246,7 @@ func Fig4(sc Scale) *Result {
 	}
 	for _, cfgc := range configs {
 		topConns := 0
+		topBytesPerConn := 0.0
 		var bench *EchoBench
 		for _, total := range counts {
 			if total > sc.MaxConns {
@@ -281,17 +288,28 @@ func Fig4(sc Scale) *Result {
 			} else {
 				if bench == nil {
 					threads := fig4FleetHosts * fig4FleetCores
+					// Presize the server for the sweep's largest point:
+					// the persistent cluster will carry the population
+					// there by delta establishment, and tables that double
+					// their way up both fragment and over-shoot.
+					top := 0
+					for _, n := range counts {
+						if n <= sc.MaxConns && n > top {
+							top = n
+						}
+					}
 					bench = NewEchoBench(EchoSetup{
-						ServerArch:  cfgc.arch,
-						ServerCores: 8,
-						ServerPorts: cfgc.ports,
-						ClientArch:  ArchLinux,
-						ClientHosts: fig4FleetHosts,
-						ClientCores: fig4FleetCores,
-						MsgSize:     64,
-						RampBatch:   16,
-						RampGap:     Fig4QuietGap(cfgc.arch, threads),
-						Shards:      sc.Shards,
+						ServerArch:    cfgc.arch,
+						ServerCores:   8,
+						ServerPorts:   cfgc.ports,
+						ClientArch:    ArchLinux,
+						ClientHosts:   fig4FleetHosts,
+						ClientCores:   fig4FleetCores,
+						MsgSize:       64,
+						RampBatch:     16,
+						RampGap:       Fig4QuietGap(cfgc.arch, threads),
+						Shards:        sc.Shards,
+						ExpectedConns: top,
 					})
 				}
 				res = bench.MeasurePoint(total, 3, sc.Window)
@@ -301,13 +319,18 @@ func Fig4(sc Scale) *Result {
 			r.AddPoint(cfgc.label, x, res.MsgsPerSec)
 			if res.ServerConns > topConns {
 				topConns = res.ServerConns
+				topBytesPerConn = res.ServerBytesPerConn
 			}
 		}
 		if bench != nil {
 			bench.Stop()
 		}
 		r.Notes = append(r.Notes,
-			fmt.Sprintf("%s: %d connections established at the largest point", cfgc.label, topConns))
+			fmt.Sprintf("%s: %d connections established at the largest point, %.0f bytes/conn",
+				cfgc.label, topConns, topBytesPerConn))
+		// Machine-readable form of the same footer for benchmark metrics
+		// and the CI bytes/conn gate.
+		r.AddScalar(cfgc.label+" bytes/conn", topBytesPerConn)
 	}
 	r.Notes = append(r.Notes,
 		"droop at high counts comes from the DDIO/L3 model: 1.4 misses/msg ≤10k conns → ~25 at 250k")

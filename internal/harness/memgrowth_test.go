@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"ix/internal/faults"
+)
+
+// drainedFootprint quiesces the bench — no new RPCs, in-flight ones
+// complete, retransmission and delayed-ACK tails clear — and samples the
+// server's memprobe footprint. The drained instant is the comparable
+// one: live traffic pins transient state (arena chunks, recycle batches,
+// spilled retransmission backings) by design.
+func drainedFootprint(b *EchoBench) (int64, int) {
+	b.fleet.Pause()
+	db := drainBudget + time.Duration(b.fleet.InFlight())*drainPerMsg
+	b.runUntil(db, drainStep, func() bool { return b.fleet.InFlight() == 0 })
+	b.cl.Run(5 * time.Millisecond)
+	f := b.cl.HostFootprint(b.cl.hosts[0])
+	return f.Bytes, f.Conns
+}
+
+// TestFootprintRecoveryAfterBurstLoss drives the inline→spill→release
+// cycle end to end: a Gilbert–Elliott loss burst on a client's link
+// forces multi-segment echo responses into RTO storms, spilling
+// retransmission queues past their inline capacity and re-materializing
+// receive buffers; once the link heals and traffic drains, the server's
+// footprint must return to the pre-fault drained baseline — spilled
+// backings, arena chunks and receive buffers all released, nothing
+// pinned by the burst.
+func TestFootprintRecoveryAfterBurstLoss(t *testing.T) {
+	const conns = 768
+	threads := 4 * 4
+	b := NewEchoBench(EchoSetup{
+		ServerArch: ArchIX, ServerCores: 2,
+		ClientArch: ArchLinux, ClientHosts: 4, ClientCores: 4,
+		MsgSize: 4096, // 3 segments per response: spill-prone under loss
+		RampBatch: 16, RampGap: Fig4QuietGap(ArchIX, threads),
+		ExpectedConns: conns,
+	})
+	defer b.Stop()
+
+	b.MeasurePoint(conns, 3, 3*time.Millisecond)
+	baseBytes, baseConns := drainedFootprint(b)
+	if baseConns < conns {
+		t.Fatalf("baseline established %d conns, want %d", baseConns, conns)
+	}
+
+	// Burst loss on one client's link while the whole fleet keeps
+	// echoing: the server's responses toward that client retransmit
+	// until the RTO storm subsides.
+	site := b.cl.Faults(b.cl.hosts[1])
+	site.Apply(faults.Config{GE: faults.GELoss(0.05)})
+	b.MeasurePoint(conns, 3, 10*time.Millisecond)
+	site.Heal()
+
+	rexmit := uint64(0)
+	dp := b.cl.IXServer(0)
+	for i := 0; i < dp.Threads(); i++ {
+		rexmit += dp.Thread(i).Stack().TCP().Retransmits
+	}
+	if rexmit == 0 {
+		t.Fatal("no server retransmissions — the loss burst exercised nothing")
+	}
+
+	// Recover and re-drain. The population is back at the target and
+	// every burst-era backing must be gone: the budget allows only the
+	// churn the fault itself caused (cookie-table free-stack growth from
+	// torn-down connections), a fraction of a percent.
+	b.MeasurePoint(conns, 3, 3*time.Millisecond)
+	afterBytes, afterConns := drainedFootprint(b)
+	if afterConns != baseConns {
+		t.Fatalf("population drifted across the fault: %d conns vs baseline %d", afterConns, baseConns)
+	}
+	if limit := baseBytes + baseBytes/50; afterBytes > limit {
+		t.Fatalf("footprint did not recover: %d bytes drained vs %d baseline (+%.1f%%)",
+			afterBytes, baseBytes, 100*float64(afterBytes-baseBytes)/float64(baseBytes))
+	}
+	t.Logf("drained footprint: baseline=%d after-burst=%d (rexmit=%d)", baseBytes, afterBytes, rexmit)
+}
+
+// TestPresizeGrowShrinkDeterminism pins the presized-table contract on
+// both engines with a grow → shrink → regrow cycle and ExpectedConns
+// set. Two properties, matching the DESIGN.md determinism contract:
+// reruns at a fixed shard count are byte-identical (drained footprints
+// included — the accounting must not depend on map iteration or
+// scheduling); across shard counts the established populations are
+// identical and the drained footprints equivalent (teardown
+// interleavings may shift free-stack peak capacities by a hair, never
+// the per-connection story).
+func TestPresizeGrowShrinkDeterminism(t *testing.T) {
+	type sample struct {
+		bytes int64
+		conns int
+	}
+	run := func(shards int) []sample {
+		threads := 4 * 4
+		b := NewEchoBench(EchoSetup{
+			ServerArch: ArchIX, ServerCores: 4,
+			ClientArch: ArchLinux, ClientHosts: 4, ClientCores: 4,
+			MsgSize: 64, RampBatch: 16, RampGap: Fig4QuietGap(ArchIX, threads),
+			ExpectedConns: 2400, Shards: shards,
+		})
+		defer b.Stop()
+		var out []sample
+		for _, point := range []int{2400, 400, 1600} {
+			b.MeasurePoint(point, 3, 2*time.Millisecond)
+			bytes, conns := drainedFootprint(b)
+			out = append(out, sample{bytes, conns})
+		}
+		return out
+	}
+	for _, shards := range []int{1, 4} {
+		a, b := run(shards), run(shards)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("shards=%d point %d: rerun diverged: %+v vs %+v", shards, i, a[i], b[i])
+			}
+		}
+	}
+	serial, sharded := run(1), run(4)
+	for i := range serial {
+		if serial[i].conns != sharded[i].conns {
+			t.Errorf("point %d: established %d conns at shards=1 vs %d at shards=4",
+				i, serial[i].conns, sharded[i].conns)
+		}
+		diff := serial[i].bytes - sharded[i].bytes
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*100 > serial[i].bytes {
+			t.Errorf("point %d: drained footprint %d bytes at shards=1 vs %d at shards=4 (>1%% apart)",
+				i, serial[i].bytes, sharded[i].bytes)
+		}
+	}
+	t.Logf("grow/shrink samples (shards=1): %+v", serial)
+}

@@ -33,6 +33,32 @@ type Result struct {
 	Series []Series
 	Tables []Table
 	Notes  []string
+	// Scalars are named headline values that are not series points —
+	// e.g. the Fig. 4 bytes/conn at the largest population. They feed
+	// benchmark metrics and CI gates; Fprint does not render them (the
+	// human-readable form already appears in Notes).
+	Scalars []Scalar
+}
+
+// Scalar is one named headline value.
+type Scalar struct {
+	Name  string
+	Value float64
+}
+
+// AddScalar records a named headline value.
+func (r *Result) AddScalar(name string, v float64) {
+	r.Scalars = append(r.Scalars, Scalar{Name: name, Value: v})
+}
+
+// Scalar returns the named headline value.
+func (r *Result) Scalar(name string) (float64, bool) {
+	for _, s := range r.Scalars {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
 }
 
 // AddPoint appends to the named series, creating it on first use.
@@ -175,8 +201,11 @@ var Full = Scale{
 	ClientCores: 8,
 	MemcClients: 23,
 	MemcCores:   2,
-	MaxConns:    250_000,
-	RPSSteps:    10,
+	// The paper's testbed tops out at 250k connections; the full-scale
+	// reproduction sweeps Fig. 4 on to 1M to exercise the per-connection
+	// memory budget.
+	MaxConns: 1_000_000,
+	RPSSteps: 10,
 }
 
 // Quick is a reduced configuration for unit benchmarks.

@@ -49,16 +49,71 @@ const (
 // Program adapts an app.Factory to the dataplane's UserProgram contract.
 // Use it as core.Config.User.
 func Program(factory app.Factory) func(api *core.UserAPI, thread, threads int) core.UserProgram {
+	// One cookie table per dataplane, shared by every elastic thread's
+	// program: kernel cookies must survive EvMigrated re-homing across
+	// threads (the destination thread resolves the migrated flow's
+	// cookie), and all threads of one host execute within a single
+	// simulation shard, so the shared table needs no locking.
+	tab := &connTable{}
 	return func(api *core.UserAPI, thread, threads int) core.UserProgram {
+		if n := api.ExpectedConns(); n > 0 && cap(tab.slots) == 0 {
+			tab.slots = make([]*conn, 0, n)
+		}
 		p := &program{
 			api:     api,
 			txchunk: api.TxChunks(),
+			tab:     tab,
+			first:   thread == 0,
 			conns:   make(map[uint64]*conn),
 		}
 		p.handler = factory(p, thread, threads)
 		p.sendReady, _ = p.handler.(app.SendReadyHandler)
 		return p
 	}
+}
+
+// connTable maps the kernel's compact uint64 cookies to user
+// connections. The kernel carries only the 8-byte id in its
+// per-connection state — no interface box, nothing for the GC to chase
+// — and the table resolves it back to the descriptor on each event.
+// Ids are slot index + 1, so 0 keeps its "no cookie" meaning; freed
+// slots recycle LIFO for cache locality and bounded growth.
+type connTable struct {
+	slots []*conn
+	free  []uint32
+}
+
+// grant registers c and returns its cookie id.
+//
+//ix:hotpath
+func (t *connTable) grant(c *conn) uint64 {
+	if n := len(t.free); n > 0 {
+		idx := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.slots[idx] = c
+		return uint64(idx) + 1
+	}
+	t.slots = append(t.slots, c)
+	return uint64(len(t.slots))
+}
+
+// lookup resolves a cookie id; 0 and stale ids return nil.
+//
+//ix:hotpath
+func (t *connTable) lookup(id uint64) *conn {
+	if id == 0 || id > uint64(len(t.slots)) {
+		return nil
+	}
+	return t.slots[id-1]
+}
+
+// revoke clears the slot and frees the id for reuse.
+func (t *connTable) revoke(id uint64) {
+	if id == 0 || id > uint64(len(t.slots)) {
+		return
+	}
+	t.slots[id-1] = nil
+	t.free = append(t.free, uint32(id-1))
 }
 
 // program is the per-elastic-thread event loop.
@@ -69,7 +124,12 @@ type program struct {
 	// sendReady is the handler's optional writable-again extension
 	// (nil when not implemented).
 	sendReady app.SendReadyHandler
-	conns     map[uint64]*conn
+	// tab is the dataplane-shared cookie table (see Program); first
+	// marks thread 0's program, which accounts the table's footprint so
+	// the shared bytes are charged exactly once per host.
+	tab   *connTable
+	first bool
+	conns map[uint64]*conn
 	dirty     []*conn // connections with work to flush this round
 	// waiters are connections whose send-ready condition is armed, in
 	// registration order (delivery order is therefore deterministic).
@@ -89,12 +149,25 @@ type conn struct {
 	arena mem.TxArena
 
 	// Transmit vector: arena views not yet accepted by the kernel.
-	// txHead is the consumption cursor; the backing array resets to the
-	// front whenever the vector drains, so steady state does not
-	// allocate.
+	// txHead is the consumption cursor. On full drain the backing is
+	// released unless it is a single slot (the request-response steady
+	// state, kept so the steady cycle stays allocation-free) — an idle
+	// connection retains at most one entry of transmit state, which is
+	// what keeps the Fig. 4 bytes/conn budget flat as the population
+	// grows (DESIGN.md, "Per-connection memory budget"). txHead/txBytes
+	// are int32: both are bounded by MaxPendingSend, and the narrower
+	// fields pack the descriptor.
 	txq     [][]byte
-	txHead  int
-	txBytes int
+	txHead  int32
+	txBytes int32
+
+	// Receive recycling accumulated during this round; the batch issued
+	// to recv_done is consumed within the same cycle and the backing is
+	// released with it, so only connections with in-flight receives pin
+	// recycle state.
+	rdBufs  []*mem.Mbuf
+	rdBytes int32
+
 	issued  bool // a sendv is in the current batch
 	stalled bool // last sendv was trimmed; wait for a sent event
 	// closing: Close was called with bytes still in the txq; the close
@@ -107,16 +180,7 @@ type conn struct {
 	// exhaustion, so delivery also waits for the pool to reopen.
 	wantReady   bool
 	blockedPool bool
-
-	// Receive recycling accumulated during this round. rdBufs and
-	// rdSpare ping-pong: the batch issued to recv_done is consumed (and
-	// its entries dropped) within the same cycle, so the two backings
-	// alternate allocation-free.
-	rdBytes int
-	rdBufs  []*mem.Mbuf
-	rdSpare []*mem.Mbuf
-
-	inDirty bool
+	inDirty     bool
 }
 
 var _ app.Conn = (*conn)(nil)
@@ -137,7 +201,7 @@ func (c *conn) Send(b []byte) int {
 		return 0
 	}
 	want := len(b)
-	room := MaxPendingSend - c.txBytes
+	room := MaxPendingSend - int(c.txBytes)
 	if room <= 0 {
 		c.armSendReady(false)
 		return 0
@@ -164,7 +228,7 @@ func (c *conn) Send(b []byte) int {
 		return 0
 	}
 	c.p.api.Charge(time.Duration(float64(accepted) * copyPerByte))
-	c.txBytes += accepted
+	c.txBytes += int32(accepted)
 	c.markDirty()
 	return accepted
 }
@@ -177,7 +241,7 @@ func (c *conn) Send(b []byte) int {
 //
 //ix:hotpath
 func (c *conn) pushTx(v []byte) {
-	if n := len(c.txq); n > c.txHead {
+	if n := len(c.txq); n > int(c.txHead) {
 		tail := c.txq[n-1]
 		if len(tail) > 0 && cap(tail) >= len(tail)+len(v) {
 			ext := tail[:len(tail)+len(v)]
@@ -208,7 +272,7 @@ func (c *conn) armSendReady(pool bool) {
 }
 
 // Unsent reports bytes not yet accepted by the dataplane.
-func (c *conn) Unsent() int { return c.txBytes }
+func (c *conn) Unsent() int { return int(c.txBytes) }
 
 // Close requests an orderly close after pending data drains: when the
 // transmit vector still holds bytes, the close syscall — which would
@@ -291,7 +355,7 @@ func (p *program) newConn(handle uint64, cookie any) *conn {
 // Connect initiates a connection; OnConnected reports the outcome.
 func (p *program) Connect(dst wire.IPv4, port uint16, cookie any) error {
 	c := p.newConn(0, cookie)
-	p.api.Connect(c, dst, port)
+	p.api.Connect(p.tab.grant(c), dst, port)
 	return nil
 }
 
@@ -318,12 +382,19 @@ func (p *program) Run(api *core.UserAPI, events []core.Event, results []core.Sys
 	for _, c := range p.dirty {
 		c.inDirty = false
 		if c.rdBytes > 0 || len(c.rdBufs) > 0 {
-			api.RecvDone(c.handle, c.rdBytes, c.rdBufs)
+			api.RecvDone(c.handle, int(c.rdBytes), c.rdBufs)
 			c.rdBytes = 0
 			// The issued batch is consumed by the kernel phase of this
-			// same cycle; ping-pong the backings so the next round's
-			// accumulation does not allocate.
-			c.rdBufs, c.rdSpare = c.rdSpare[:0], c.rdBufs
+			// same cycle — before the next user round can append — so a
+			// one-slot backing (the request-response steady state) is
+			// reused in place and the steady cycle stays allocation-free.
+			// Larger batch backings are released: an idle connection pins
+			// at most one pointer slot of recycle state.
+			if cap(c.rdBufs) > 1 {
+				c.rdBufs = nil
+			} else {
+				c.rdBufs = c.rdBufs[:0]
+			}
 		}
 		if c.txBytes > 0 && !c.issued && !c.stalled && !c.closed && c.handle != 0 {
 			c.issued = true
@@ -336,8 +407,8 @@ func (p *program) Run(api *core.UserAPI, events []core.Event, results []core.Sys
 func (p *program) processResult(r *core.SyscallResult) {
 	switch r.Type {
 	case core.SysConnect:
-		c, ok := r.Cookie.(*conn)
-		if !ok {
+		c := p.tab.lookup(r.Cookie)
+		if c == nil {
 			return
 		}
 		if r.Err != nil {
@@ -402,35 +473,47 @@ func (p *program) fireSendReady() {
 }
 
 func (c *conn) consumeTx(n int) {
-	c.txBytes -= n
+	c.txBytes -= int32(n)
 	if c.txBytes < 0 {
 		c.txBytes = 0
 	}
-	for n > 0 && c.txHead < len(c.txq) {
-		e := c.txq[c.txHead]
+	head := int(c.txHead)
+	for n > 0 && head < len(c.txq) {
+		e := c.txq[head]
 		if len(e) <= n {
 			n -= len(e)
-			c.txq[c.txHead] = nil
-			c.txHead++
+			c.txq[head] = nil
+			head++
 		} else {
-			c.txq[c.txHead] = e[n:]
+			c.txq[head] = e[n:]
 			n = 0
 		}
 	}
-	if c.txHead == len(c.txq) {
-		c.txq = c.txq[:0]
-		c.txHead = 0
-	} else if c.txHead >= 32 && c.txHead*2 >= len(c.txq) {
+	if head == len(c.txq) {
+		// Fully drained. A one-entry backing — the request-response
+		// steady state, where contiguous views merge into a single
+		// scatter-gather entry — is kept so the steady cycle stays
+		// allocation-free; anything larger was grown by a bulk or
+		// flow-controlled send and is released, bounding what an idle
+		// connection retains to one slice header's backing.
+		if cap(c.txq) > 1 {
+			c.txq = nil
+		} else {
+			c.txq = c.txq[:0]
+		}
+		head = 0
+	} else if head >= 32 && head*2 >= len(c.txq) {
 		// A flow-controlled connection that never fully drains would
 		// otherwise grow the dead prefix forever; compact the live
 		// entries to the front.
-		n := copy(c.txq, c.txq[c.txHead:])
-		for i := n; i < len(c.txq); i++ {
+		k := copy(c.txq, c.txq[head:])
+		for i := k; i < len(c.txq); i++ {
 			c.txq[i] = nil
 		}
-		c.txq = c.txq[:n]
-		c.txHead = 0
+		c.txq = c.txq[:k]
+		head = 0
 	}
+	c.txHead = int32(head)
 }
 
 func (p *program) processEvent(ev *core.Event) {
@@ -439,9 +522,10 @@ func (p *program) processEvent(ev *core.Event) {
 	case core.EvKnock:
 		c := p.newConn(ev.Handle, nil)
 		p.conns[ev.Handle] = c
-		// Accept with the libix conn as kernel cookie so later events
-		// resolve without a map lookup (the Table 1 cookie design).
-		p.api.Accept(ev.Handle, c)
+		// Accept with the conn's table id as kernel cookie so later
+		// events resolve with one bounds-checked indexed load (the
+		// Table 1 cookie design, minus the interface box).
+		p.api.Accept(ev.Handle, p.tab.grant(c))
 		p.handler.OnAccept(c)
 	case core.EvConnected:
 		c := p.resolve(ev)
@@ -450,6 +534,7 @@ func (p *program) processEvent(ev *core.Event) {
 		}
 		if !ev.Outcome {
 			delete(p.conns, c.handle)
+			p.tab.revoke(ev.Cookie)
 			c.closed = true
 			c.arena.ReleaseAll()
 			p.handler.OnConnected(c, false)
@@ -469,7 +554,7 @@ func (p *program) processEvent(ev *core.Event) {
 		p.handler.OnRecv(c, ev.Data)
 		// Recycle as soon as the handler returns (copying semantics);
 		// batched into one recv_done per round.
-		c.rdBytes += ev.Bytes
+		c.rdBytes += int32(ev.Bytes)
 		if ev.Mbuf != nil {
 			c.rdBufs = append(c.rdBufs, ev.Mbuf)
 		}
@@ -505,6 +590,7 @@ func (p *program) processEvent(ev *core.Event) {
 			return
 		}
 		delete(p.conns, c.handle)
+		p.tab.revoke(ev.Cookie)
 		c.closed = true
 		// The kernel dropped the connection's retransmission queue with
 		// the flow; nothing references the arena any more.
@@ -513,11 +599,10 @@ func (p *program) processEvent(ev *core.Event) {
 		// the handle is already revoked, so a recv_done for it would be
 		// rejected before the kernel's own Unref loop ran (leaking the
 		// delivery references taken for EvRecv).
-		for i, b := range c.rdBufs {
+		for _, b := range c.rdBufs {
 			b.Unref()
-			c.rdBufs[i] = nil
 		}
-		c.rdBufs = c.rdBufs[:0]
+		c.rdBufs = nil
 		c.rdBytes = 0
 		p.handler.OnClosed(c)
 	case core.EvTimer:
@@ -525,8 +610,11 @@ func (p *program) processEvent(ev *core.Event) {
 			ev.Fn()
 		}
 	case core.EvMigrated:
-		c, ok := ev.Cookie.(*conn)
-		if !ok {
+		// The id resolves in the shared table regardless of which
+		// thread's program granted it — the property that makes
+		// cross-thread flow migration safe under compact cookies.
+		c := p.tab.lookup(ev.Cookie)
+		if c == nil {
 			return
 		}
 		// Re-home the connection: it now belongs to this thread's
@@ -558,8 +646,10 @@ func (p *program) processEvent(ev *core.Event) {
 
 // resolve finds the libix conn for an event via its cookie (fast path) or
 // the handle map.
+//
+//ix:hotpath
 func (p *program) resolve(ev *core.Event) *conn {
-	if c, ok := ev.Cookie.(*conn); ok {
+	if c := p.tab.lookup(ev.Cookie); c != nil {
 		return c
 	}
 	return p.conns[ev.Handle]

@@ -153,13 +153,13 @@ func TestTxqBoundedWithoutDrain(t *testing.T) {
 			// Consume one entry, always leaving the newest pending.
 			c.consumeTx(64)
 		}
-		if live := len(c.txq) - c.txHead; live < 1 || live > 2 {
+		if live := len(c.txq) - int(c.txHead); live < 1 || live > 2 {
 			t.Fatalf("iteration %d: %d live entries, want 1-2", i, live)
 		}
 	}
 	if len(c.txq) > 96 {
 		t.Fatalf("txq backing holds %d entries for %d live; dead prefix not compacted",
-			len(c.txq), len(c.txq)-c.txHead)
+			len(c.txq), len(c.txq)-int(c.txHead))
 	}
 }
 
@@ -178,7 +178,7 @@ func TestPushTxMergesContiguousRuns(t *testing.T) {
 		}
 		c.pushTx(v)
 	}
-	if got := len(c.txq) - c.txHead; got != 1 {
+	if got := len(c.txq) - int(c.txHead); got != 1 {
 		t.Fatalf("5 contiguous appends produced %d SG entries, want 1", got)
 	}
 	if got := len(c.txq[c.txHead]); got != 320 {

@@ -1,0 +1,61 @@
+package linuxstack
+
+import (
+	"unsafe"
+
+	"ix/internal/memprobe"
+	"ix/internal/tcp"
+)
+
+// grantSock registers s in the host's socket table and returns its
+// compact cookie id (slot index + 1; 0 keeps its "no socket" meaning).
+func (h *Host) grantSock(s *sock) uint64 {
+	if n := len(h.sockFree); n > 0 {
+		idx := h.sockFree[n-1]
+		h.sockFree = h.sockFree[:n-1]
+		h.socks[idx] = s
+		return uint64(idx) + 1
+	}
+	h.socks = append(h.socks, s)
+	return uint64(len(h.socks))
+}
+
+// revokeSock clears the slot and frees the id for reuse.
+func (h *Host) revokeSock(id uint64) {
+	if id == 0 || id > uint64(len(h.socks)) {
+		return
+	}
+	h.socks[id-1] = nil
+	h.sockFree = append(h.sockFree, uint32(id-1))
+}
+
+// sockOf resolves a kernel connection's socket adapter (nil for
+// embryonic connections that have not been accepted yet).
+func (h *Host) sockOf(c *tcp.Conn) *sock {
+	id := c.Cookie
+	if id == 0 || id > uint64(len(h.socks)) {
+		return nil
+	}
+	return h.socks[id-1]
+}
+
+// Footprint implements the memprobe accounting contract for the Linux
+// host model: the shared kernel stack's TCP tally plus, per
+// connection, the socket adapter struct and the capacities of its
+// kernel-side receive and send staging buffers.
+func (h *Host) Footprint() memprobe.Footprint {
+	const (
+		sockBytes = int64(unsafe.Sizeof(sock{}))
+		slotBytes = int64(unsafe.Sizeof((*sock)(nil)))
+	)
+	f := h.ns.TCP().Footprint()
+	f.Bytes += int64(cap(h.socks))*slotBytes + int64(cap(h.sockFree))*4
+	for _, c := range h.ns.TCP().Conns() {
+		s := h.sockOf(c)
+		if s == nil {
+			continue // embryonic: no socket until accept
+		}
+		f.Bytes += sockBytes + int64(cap(s.rcvbuf)) + int64(cap(s.sndbuf))
+	}
+	return f
+}

@@ -57,6 +57,9 @@ type Config struct {
 	MinRTO   time.Duration
 	MemPages int
 	NICRing  int
+	// ExpectedConns presizes the kernel's global connection and socket
+	// tables for the anticipated population (0 = grow on demand).
+	ExpectedConns int
 }
 
 // Host is one Linux machine: a single kernel stack, per-core NIC queues
@@ -80,6 +83,12 @@ type Host struct {
 	// missFloor is the handshake-frame miss charge (batched SYN
 	// admission), a run constant hoisted out of the softirq loop.
 	missFloor time.Duration
+
+	// socks is the host-global fd-style socket table: the TCP engine's
+	// per-connection cookie is a compact slot id (index+1) into it
+	// rather than an interface box. Freed slots recycle LIFO.
+	socks    []*sock
+	sockFree []uint32
 
 	listening map[uint16]bool
 	timerWake *sim.Event
@@ -108,6 +117,9 @@ func New(eng *sim.Engine, cfg Config) *Host {
 		arp:       netstack.NewARPTable(),
 		region:    mem.NewRegion(cfg.MemPages),
 		listening: make(map[uint16]bool),
+	}
+	if cfg.ExpectedConns > 0 {
+		h.socks = make([]*sock, 0, cfg.ExpectedConns)
 	}
 	h.missFloor = time.Duration(cost.MissesPerMsg(0) * float64(cfg.Cost.L3Miss))
 	h.timerFired = h.onTimerWake
@@ -138,6 +150,8 @@ func New(eng *sim.Engine, cfg Config) *Host {
 		// Linux delays pure ACKs so responses piggyback them (scaled
 		// to the simulation's RTO floor).
 		DelAck: 100 * time.Microsecond,
+
+		ExpectedConns: cfg.ExpectedConns,
 	})
 	return h
 }
@@ -487,18 +501,19 @@ func (k *kcore) dispatch(s *sock) {
 			return
 		}
 	}
-	for s.rcvOff < len(s.rcvbuf) {
-		n := len(s.rcvbuf) - s.rcvOff
+	for int(s.rcvOff) < len(s.rcvbuf) {
+		n := len(s.rcvbuf) - int(s.rcvOff)
 		if n > readChunk {
 			n = readChunk
 		}
-		chunk := s.rcvbuf[s.rcvOff : s.rcvOff+n]
-		s.rcvOff += n
-		if s.rcvOff == len(s.rcvbuf) {
-			// Fully drained: reuse the backing array for future arrivals.
+		chunk := s.rcvbuf[s.rcvOff : int(s.rcvOff)+n]
+		s.rcvOff += int32(n)
+		if int(s.rcvOff) == len(s.rcvbuf) {
+			// Fully drained: release the backing so an idle socket holds
+			// no receive buffer; it re-materializes on the next arrival.
 			// chunk stays valid through the OnRecv call below — nothing
 			// can append to rcvbuf while the app thread occupies the core.
-			s.rcvbuf = s.rcvbuf[:0]
+			s.rcvbuf = nil
 			s.rcvOff = 0
 		}
 		k.chargeK(c.SyscallEntry + c.SockRead + c.CopyPerByte.Cost(n))
@@ -511,7 +526,7 @@ func (k *kcore) dispatch(s *sock) {
 		}
 	}
 	if s.sentPending > 0 {
-		n := s.sentPending
+		n := int(s.sentPending)
 		s.sentPending = 0
 		k.handler.OnSent(s, n)
 	}
@@ -595,14 +610,14 @@ func (e *kenv) Connect(dst wire.IPv4, port uint16, cookie any) error {
 	k := e.k()
 	doConnect := func() {
 		k.chargeK(k.h.cfg.Cost.SyscallEntry + k.h.cfg.Cost.ConnSetup)
-		conn, err := k.h.ns.TCP().Connect(dst, port, nil)
+		conn, err := k.h.ns.TCP().Connect(dst, port, 0)
 		if err != nil {
 			s := &sock{k: k, cookie: cookie, connectedPending: true, dead: true}
 			k.enqueueReady(s)
 			return
 		}
 		s := &sock{k: k, conn: conn, cookie: cookie}
-		conn.Cookie = s
+		conn.Cookie = k.h.grantSock(s)
 	}
 	if k.curMeter != nil {
 		prev := k.h.cur

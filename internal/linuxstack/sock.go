@@ -22,17 +22,22 @@ type sock struct {
 	cookie any
 
 	// rcvbuf holds bytes copied out of skbs, awaiting read(); rcvOff is
-	// the read cursor (the backing array is reused once drained).
+	// the read cursor. The backing is materialized only while data is
+	// queued and released the moment the reader drains it, so an idle
+	// socket holds no receive buffer — part of the per-connection byte
+	// budget (DESIGN.md). rcvOff and sentPending are int32 (both bounded
+	// by buffer sizes) so the socket packs a word tighter.
 	rcvbuf []byte
-	rcvOff int
+	rcvOff int32
 	// sndbuf holds bytes written by the app beyond the TCP window.
 	sndbuf []byte
+
+	sentPending int32
 
 	inReady          bool
 	acceptPending    bool
 	connectedPending bool
 	connectedOK      bool
-	sentPending      int
 	eofPending       bool
 	deadPending      bool
 	dead             bool
@@ -163,7 +168,7 @@ func (ke *kernelEvents) Accepted(c *tcp.Conn) {
 	// received the handshake (§2.3); its events wake that core's thread.
 	k := ke.k()
 	s := &sock{k: k, conn: c, acceptPending: true}
-	c.Cookie = s
+	c.Cookie = (*Host)(ke).grantSock(s)
 	k.enqueueReady(s)
 }
 
@@ -176,20 +181,25 @@ func (ke *kernelEvents) Accepted(c *tcp.Conn) {
 // different application thread than the one that owns the fd.
 
 func (ke *kernelEvents) Connected(c *tcp.Conn, ok bool) {
-	s, _ := c.Cookie.(*sock)
+	h := (*Host)(ke)
+	s := h.sockOf(c)
 	if s == nil {
 		return
 	}
 	s.connectedPending = true
 	s.connectedOK = ok
 	if !ok {
+		// Terminal: a failed active open never reaches Dead (the engine
+		// reports SynSent teardown as Connected(false) only), so the
+		// cookie slot is released here.
 		s.dead = true
+		h.revokeSock(c.Cookie)
 	}
 	s.k.enqueueReady(s)
 }
 
 func (ke *kernelEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
-	s, _ := c.Cookie.(*sock)
+	s := (*Host)(ke).sockOf(c)
 	if s == nil {
 		return
 	}
@@ -203,7 +213,7 @@ func (ke *kernelEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
 // Sent ignores released: the kernel sndbuf slides by accepted bytes,
 // not by segment reclamation.
 func (ke *kernelEvents) Sent(c *tcp.Conn, acked, released int) {
-	s, _ := c.Cookie.(*sock)
+	s := (*Host)(ke).sockOf(c)
 	if s == nil {
 		return
 	}
@@ -218,7 +228,7 @@ func (ke *kernelEvents) Sent(c *tcp.Conn, acked, released int) {
 	// Only wake the app for write-readiness when it still has buffered
 	// data (libevent-style write events are enabled on demand).
 	if acked > 0 && len(s.sndbuf) > 0 && !s.closing {
-		s.sentPending += acked
+		s.sentPending += int32(acked)
 		s.k.enqueueReady(s)
 	}
 	// Writable-again edge: a writer that saw a short write wakes once —
@@ -232,7 +242,7 @@ func (ke *kernelEvents) Sent(c *tcp.Conn, acked, released int) {
 }
 
 func (ke *kernelEvents) RemoteClosed(c *tcp.Conn) {
-	s, _ := c.Cookie.(*sock)
+	s := (*Host)(ke).sockOf(c)
 	if s == nil {
 		return
 	}
@@ -241,10 +251,12 @@ func (ke *kernelEvents) RemoteClosed(c *tcp.Conn) {
 }
 
 func (ke *kernelEvents) Dead(c *tcp.Conn, reason tcp.Reason) {
-	s, _ := c.Cookie.(*sock)
+	h := (*Host)(ke)
+	s := h.sockOf(c)
 	if s == nil {
 		return
 	}
+	h.revokeSock(c.Cookie)
 	s.deadPending = true
 	s.k.enqueueReady(s)
 }

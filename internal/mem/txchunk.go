@@ -12,6 +12,8 @@
 // no synchronization.
 package mem
 
+import "unsafe"
+
 // TxChunkSize is the payload capacity of one TX arena chunk. Small
 // enough that short-lived RPC traffic cycles a single chunk per
 // connection, large enough that a bulk send does not fragment into
@@ -150,19 +152,22 @@ func (p *TxChunkPool) Provisioned() int { return p.allocated }
 type TxArena struct {
 	pool   *TxChunkPool
 	chunks []*TxChunk // chunks[head:] are live; the last is the write chunk
-	head   int
-	relOff int // released bytes within chunks[head]
-	live   int // appended and not yet released bytes
+	// The cursors are int32 — head counts chunks, relOff stays below
+	// TxChunkSize, live below the pending-send budget — so the arena
+	// header packs with its owner (the per-connection byte budget).
+	head   int32
+	relOff int32 // released bytes within chunks[head]
+	live   int32 // appended and not yet released bytes
 }
 
 // Init points the arena at its chunk pool.
 func (a *TxArena) Init(pool *TxChunkPool) { a.pool = pool }
 
 // Live returns bytes appended but not yet released.
-func (a *TxArena) Live() int { return a.live }
+func (a *TxArena) Live() int { return int(a.live) }
 
 // Chunks returns the number of chunks the arena currently holds.
-func (a *TxArena) Chunks() int { return len(a.chunks) - a.head }
+func (a *TxArena) Chunks() int { return len(a.chunks) - int(a.head) }
 
 // Append copies a prefix of b into the arena and returns the
 // arena-backed view of it; the view's bytes stay immutable until
@@ -176,7 +181,7 @@ func (a *TxArena) Append(b []byte) []byte {
 		return nil
 	}
 	var k *TxChunk
-	if n := len(a.chunks); n > a.head {
+	if n := len(a.chunks); n > int(a.head) {
 		k = a.chunks[n-1]
 	}
 	if k == nil || k.Room() == 0 {
@@ -187,7 +192,7 @@ func (a *TxArena) Append(b []byte) []byte {
 		a.chunks = append(a.chunks, k)
 	}
 	v := k.Append(b)
-	a.live += len(v)
+	a.live += int32(len(v))
 	return v
 }
 
@@ -202,43 +207,62 @@ func (a *TxArena) Release(n int) {
 	if n <= 0 {
 		return
 	}
-	a.live -= n
+	a.live -= int32(n)
 	if a.live < 0 {
 		a.live = 0
 	}
-	a.relOff += n
-	for a.head < len(a.chunks) {
+	a.relOff += int32(n)
+	for int(a.head) < len(a.chunks) {
 		k := a.chunks[a.head]
-		if a.relOff < k.used {
+		if int(a.relOff) < k.used {
 			break
 		}
-		if a.head == len(a.chunks)-1 && a.live > 0 {
+		if int(a.head) == len(a.chunks)-1 && a.live > 0 {
 			// The write chunk still holds unreleased bytes beyond the
 			// cursor arithmetic (defensive; cannot happen when releases
 			// mirror appends).
 			break
 		}
-		a.relOff -= k.used
+		a.relOff -= int32(k.used)
 		k.Release()
 		a.chunks[a.head] = nil
 		a.head++
 	}
-	if a.head == len(a.chunks) {
-		a.chunks = a.chunks[:0]
+	if int(a.head) == len(a.chunks) {
+		// Fully drained. A one-slot backing (the request-response steady
+		// state: one chunk cycling through the free list) is kept so the
+		// steady cycle stays allocation-free; anything larger — grown by
+		// a bulk send — is released, so an idle connection pins at most
+		// one pointer slot.
+		if cap(a.chunks) > 1 {
+			a.chunks = nil
+		} else {
+			a.chunks = a.chunks[:0]
+		}
 		a.head = 0
 		a.relOff = 0
 	}
+}
+
+// FootprintBytes returns the bytes the arena pins right now: held
+// chunks (whole struct size — a chunk is pinned in full no matter how
+// little of it is written) plus the chunks-slice backing. Part of the
+// memprobe per-connection accounting contract; pool free lists are
+// amortized across the population and excluded.
+func (a *TxArena) FootprintBytes() int64 {
+	return int64(a.Chunks())*int64(unsafe.Sizeof(TxChunk{})) +
+		int64(cap(a.chunks))*int64(unsafe.Sizeof((*TxChunk)(nil)))
 }
 
 // ReleaseAll returns every chunk to the pool regardless of the release
 // cursor. Only legal once nothing references the arena — i.e. the
 // owning connection is dead and its retransmission queue dropped.
 func (a *TxArena) ReleaseAll() {
-	for i := a.head; i < len(a.chunks); i++ {
+	for i := int(a.head); i < len(a.chunks); i++ {
 		a.chunks[i].Release()
 		a.chunks[i] = nil
 	}
-	a.chunks = a.chunks[:0]
+	a.chunks = nil
 	a.head = 0
 	a.relOff = 0
 	a.live = 0

@@ -52,6 +52,10 @@ type Config struct {
 	MinRTO   time.Duration
 	MemPages int
 	NICRing  int
+	// ExpectedConns is the anticipated host-wide flow population; each
+	// core presizes its connection tables for its RSS share (0 = grow
+	// on demand).
+	ExpectedConns int
 }
 
 // Host is one mTCP machine.
@@ -162,6 +166,13 @@ type mcore struct {
 	// (nil when not implemented).
 	sendReady app.SendReadyHandler
 
+	// mconns is the core's connection table: the TCP engine's cookie is
+	// a compact slot id (index+1) into it, not an interface box. Per
+	// core because each mcore owns a private TCP stack (mTCP's
+	// shared-nothing design). Freed slots recycle LIFO.
+	mconns    []*mconn
+	mconnFree []uint32
+
 	// Event queue: TCP thread → app thread (batched).
 	evQ        []*mconn
 	appPending bool
@@ -192,6 +203,11 @@ func newMcore(h *Host, id int) *mcore {
 		pool:  mem.NewMbufPool(h.region, id),
 		wheel: timerwheel.New(timerwheel.DefaultTick, int64(h.eng.Now())),
 	}
+	expected := 0
+	if n := h.cfg.ExpectedConns; n > 0 {
+		expected = n / h.cfg.Cores
+		m.mconns = make([]*mconn, 0, expected)
+	}
 	m.tcpFn = m.tcpRound
 	m.timerFired = m.onTimerWake
 	m.rxq = h.nic.RxQueue(id)
@@ -209,6 +225,8 @@ func newMcore(h *Host, id int) *mcore {
 		Seed:      h.cfg.Seed + uint64(id)*0x9e3779b97f4a7c15,
 		RcvWnd:    h.cfg.RcvWnd,
 		MinRTO:    h.cfg.MinRTO,
+
+		ExpectedConns: expected,
 		PortOK: func(p uint16, dst wire.IPv4, dport uint16) bool {
 			// mTCP also partitions flows per core (it splits the
 			// ephemeral port space by RSS, like IX).
@@ -361,10 +379,11 @@ func (m *mcore) dispatch(mc *mconn, meter *sim.Meter) {
 	}
 	for len(mc.rcvbuf) > 0 {
 		chunk := mc.rcvbuf
-		// Reuse the backing array for future arrivals; chunk stays valid
-		// through the OnRecv call (the TCP thread cannot append while the
-		// app thread occupies the core).
-		mc.rcvbuf = mc.rcvbuf[:0]
+		// Release the backing so an idle connection holds no receive
+		// buffer (it re-materializes on the next arrival); chunk stays
+		// valid through the OnRecv call (the TCP thread cannot append
+		// while the app thread occupies the core).
+		mc.rcvbuf = nil
 		// mtcp_read: API call + copy into the app buffer.
 		meter.Charge(c.AppCall + c.CopyPerByte.Cost(len(chunk)))
 		mc.conn.RecvDone(len(chunk))
@@ -374,7 +393,7 @@ func (m *mcore) dispatch(mc *mconn, meter *sim.Meter) {
 		}
 	}
 	if mc.sentPending > 0 {
-		n := mc.sentPending
+		n := int(mc.sentPending)
 		mc.sentPending = 0
 		meter.Charge(c.AppCall)
 		m.handler.OnSent(mc, n)
@@ -483,7 +502,7 @@ func (e *menv) Connect(dst wire.IPv4, port uint16, cookie any) error {
 	mc := &mconn{m: m, cookie: cookie}
 	m.queueJob(func() {
 		m.curMeter.Charge(m.h.cfg.Cost.ConnSetup)
-		conn, err := m.ns.TCP().Connect(dst, port, nil)
+		conn, err := m.ns.TCP().Connect(dst, port, 0)
 		if err != nil {
 			mc.connectedPending = true
 			mc.connectedOK = false
@@ -492,7 +511,7 @@ func (e *menv) Connect(dst wire.IPv4, port uint16, cookie any) error {
 			return
 		}
 		mc.conn = conn
-		conn.Cookie = mc
+		conn.Cookie = m.grantConn(mc)
 	})
 	return nil
 }
@@ -515,11 +534,14 @@ type mconn struct {
 	rcvbuf []byte
 	sndbuf []byte
 
+	// sentPending is int32 (bounded by sndbufMax) so the descriptor
+	// packs tighter — part of the per-connection byte budget.
+	sentPending int32
+
 	inEvQ            bool
 	acceptPending    bool
 	connectedPending bool
 	connectedOK      bool
-	sentPending      int
 	eofPending       bool
 	deadPending      bool
 	dead             bool
@@ -647,27 +669,30 @@ func (me *mtcpEvents) Knock(l *tcp.Listener, key wire.FlowKey) bool { return tru
 func (me *mtcpEvents) Accepted(c *tcp.Conn) {
 	m := me.m()
 	mc := &mconn{m: m, conn: c, acceptPending: true}
-	c.Cookie = mc
+	c.Cookie = m.grantConn(mc)
 	m.enqueueEv(mc)
 }
 
 func (me *mtcpEvents) Connected(c *tcp.Conn, ok bool) {
 	m := me.m()
-	mc, _ := c.Cookie.(*mconn)
+	mc := m.connOf(c)
 	if mc == nil {
 		return
 	}
 	mc.connectedPending = true
 	mc.connectedOK = ok
 	if !ok {
+		// Terminal: a failed active open never reaches Dead, so the
+		// cookie slot is released here.
 		mc.dead = true
+		m.revokeConn(c.Cookie)
 	}
 	m.enqueueEv(mc)
 }
 
 func (me *mtcpEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
 	m := me.m()
-	mc, _ := c.Cookie.(*mconn)
+	mc := m.connOf(c)
 	if mc == nil {
 		return
 	}
@@ -681,7 +706,7 @@ func (me *mtcpEvents) Recv(c *tcp.Conn, buf *mem.Mbuf, data []byte) {
 // bytes, not by segment reclamation.
 func (me *mtcpEvents) Sent(c *tcp.Conn, acked, released int) {
 	m := me.m()
-	mc, _ := c.Cookie.(*mconn)
+	mc := m.connOf(c)
 	if mc == nil {
 		return
 	}
@@ -691,7 +716,7 @@ func (me *mtcpEvents) Sent(c *tcp.Conn, acked, released int) {
 		mc.finishClose()
 	}
 	if acked > 0 && len(mc.sndbuf) > 0 && !mc.closing {
-		mc.sentPending += acked
+		mc.sentPending += int32(acked)
 		m.enqueueEv(mc)
 	}
 	// Writable-again edge: a writer that saw a short Send wakes once the
@@ -705,7 +730,7 @@ func (me *mtcpEvents) Sent(c *tcp.Conn, acked, released int) {
 
 func (me *mtcpEvents) RemoteClosed(c *tcp.Conn) {
 	m := me.m()
-	mc, _ := c.Cookie.(*mconn)
+	mc := m.connOf(c)
 	if mc == nil {
 		return
 	}
@@ -715,10 +740,11 @@ func (me *mtcpEvents) RemoteClosed(c *tcp.Conn) {
 
 func (me *mtcpEvents) Dead(c *tcp.Conn, reason tcp.Reason) {
 	m := me.m()
-	mc, _ := c.Cookie.(*mconn)
+	mc := m.connOf(c)
 	if mc == nil {
 		return
 	}
+	m.revokeConn(c.Cookie)
 	mc.deadPending = true
 	m.enqueueEv(mc)
 }

@@ -80,6 +80,8 @@ type Config struct {
 	MaxRexmits int
 	TimeWait   time.Duration
 	DelAck     time.Duration
+	// ExpectedConns presizes the TCP engine's connection table.
+	ExpectedConns int
 }
 
 // Stack is one per-core network stack instance.
@@ -131,6 +133,8 @@ func New(cfg Config) *Stack {
 		MaxRexmits: cfg.MaxRexmits,
 		TimeWait:   cfg.TimeWait,
 		DelAck:     cfg.DelAck,
+
+		ExpectedConns: cfg.ExpectedConns,
 	})
 	return s
 }

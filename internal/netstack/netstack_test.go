@@ -158,7 +158,7 @@ func TestTCPOverNetstack(t *testing.T) {
 	if _, err := b.s.TCP().Listen(80, nil); err != nil {
 		t.Fatal(err)
 	}
-	c, err := a.s.TCP().Connect(ipB, 80, nil)
+	c, err := a.s.TCP().Connect(ipB, 80, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,7 @@
 package tcp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -34,8 +35,9 @@ import (
 	"ix/internal/wire"
 )
 
-// State is a TCP connection state.
-type State int
+// State is a TCP connection state. The underlying type is a single
+// byte so it packs into the Conn header's padding.
+type State uint8
 
 // TCP states.
 const (
@@ -157,6 +159,11 @@ type Config struct {
 	TimeWait time.Duration
 	// SynBacklog bounds embryonic connections per listener (default 1024).
 	SynBacklog int
+	// ExpectedConns presizes the connection table for the anticipated
+	// steady-state flow population (0 = grow on demand). Presizing
+	// avoids the rehash/doubling churn of ramping to a large population
+	// and keeps growth deterministic across shard counts.
+	ExpectedConns int
 	// DelAck, when positive, enables delayed acknowledgments: a pure
 	// ACK for in-order data is deferred up to this long (or until a
 	// second segment arrives, per RFC 1122), giving responses a chance
@@ -197,6 +204,9 @@ type Stack struct {
 	// heap, one hidden allocation per segment. Emissions never nest
 	// (Output copies into a frame and returns), so one scratch is safe.
 	hdr wire.TCPHeader
+	// txFree recycles txState objects between connections with data in
+	// flight (LIFO, so the hot states stay cache-warm).
+	txFree []*txState
 
 	// Stats.
 	SegsIn, SegsOut uint64
@@ -241,7 +251,7 @@ func NewStack(cfg Config) *Stack {
 	}
 	return &Stack{
 		cfg:       cfg,
-		conns:     make(map[wire.FlowKey]*Conn),
+		conns:     make(map[wire.FlowKey]*Conn, cfg.ExpectedConns),
 		listeners: make(map[uint16]*Listener),
 		isn:       cfg.Seed | 1,
 		nextPort:  32768,
@@ -325,6 +335,52 @@ func (ts *txSeg) appendPayload(sg [][]byte) [][]byte {
 	return append(sg, ts.extra...)
 }
 
+// retransInline is the txState inline segment capacity: steady
+// request-response traffic keeps at most a couple of segments in
+// flight, so the queue almost never needs heap backing. Loss bursts
+// and deep pipelining spill to an ordinary slice, whose backing is
+// dropped again the moment the queue drains.
+const retransInline = 2
+
+// txState is the retransmission queue of one connection with data in
+// flight: a head-indexed ring over one backing array. The cumulative-ACK
+// trim advances head (zeroing dropped segments so their payload
+// references die); q aliases the inline array until a burst spills it.
+// States are pooled per stack — a connection acquires one on first
+// transmit and releases it whenever the queue drains, so the 250k idle
+// connections of a Fig. 4 point carry no send-queue storage at all.
+type txState struct {
+	q    []txSeg
+	head int
+	inl  [retransInline]txSeg
+}
+
+// getTxState pops a pooled state (or builds the first).
+func (s *Stack) getTxState() *txState {
+	if n := len(s.txFree); n > 0 {
+		t := s.txFree[n-1]
+		s.txFree[n-1] = nil
+		s.txFree = s.txFree[:n-1]
+		return t
+	}
+	t := &txState{}
+	t.q = t.inl[:0:retransInline]
+	return t
+}
+
+// putTxState returns a drained (or dead) state to the pool. Re-aliasing
+// q to the inline array drops any spilled backing — and with it every
+// payload reference the backing still held — fixing the leak where a
+// loss burst's spill capacity stayed pinned for the connection's
+// lifetime. The inline array is zeroed for the same reason: a spill
+// copies its contents aside but leaves stale fragment references behind.
+func (s *Stack) putTxState(t *txState) {
+	t.inl = [retransInline]txSeg{}
+	t.q = t.inl[:0:retransInline]
+	t.head = 0
+	s.txFree = append(s.txFree, t)
+}
+
 // rxSeg is an out-of-order segment held for reassembly.
 type rxSeg struct {
 	seq  uint32
@@ -339,29 +395,31 @@ type Conn struct {
 	key   wire.FlowKey
 	state State
 
-	// Cookie is the user's opaque connection tag (Table 1).
-	Cookie any
+	// Cookie is the user's opaque connection tag (Table 1). A compact
+	// integer handle into the owner's connection table rather than an
+	// interface box: 8 bytes inline, nothing to scan, nothing pinned.
+	Cookie uint64
 	// Handle is assigned by the OS layer (kernel-level flow identifier).
 	Handle uint64
 
-	// Send state. The retransmission queue is a head-indexed ring over
-	// one backing array: the cumulative-ACK trim advances retransHead
-	// (zeroing dropped segments so their payload references die) and the
-	// backing resets to the front whenever the queue drains, so steady
-	// request-response traffic recycles the same storage.
-	iss         uint32
-	sndUna      uint32
-	sndNxt      uint32
-	sndWnd      uint32 // peer-advertised, scaled
-	peerWShift  uint8
-	retransQ    []txSeg
-	retransHead int
-	finQueued   bool
+	// Send state. The retransmission queue lives in a pooled txState
+	// side-object: idle connections (nothing in flight) hold none at
+	// all, which is what keeps the Fig. 4 bytes/conn budget flat at
+	// 250k+ connections — see DESIGN.md "Per-connection memory budget".
+	iss        uint32
+	sndUna     uint32
+	sndNxt     uint32
+	sndWnd     uint32 // peer-advertised, scaled
+	peerWShift uint8
+	finQueued  bool
+	tx         *txState
 
-	// Congestion control.
+	// Congestion control. dupAcks is uint16: one increment per received
+	// duplicate ACK, reset on any advance, so it is bounded by the
+	// segments a single flight can produce (window/MSS ≪ 64k).
 	cwnd     uint32
 	ssthresh uint32
-	dupAcks  int
+	dupAcks  uint16
 	// Loss recovery (NewReno, RFC 6582): while inRecovery, a partial ACK
 	// (one below recoverSeq, the sndNxt at loss detection) means the
 	// next hole is already known lost, so it is retransmitted
@@ -377,25 +435,25 @@ type Conn struct {
 	rttSeq       uint32
 	rttStart     int64
 	rttPending   bool
-	rexmitCount  int
+	rexmitCount  uint16
 
-	// Receive state.
+	// Receive state. unconsumed and reasmBytes are bounded by the
+	// receive window, so 32 bits hold them.
 	rcvNxt     uint32
-	unconsumed int // delivered to app, not yet RecvDone'd
+	unconsumed int32 // delivered to app, not yet RecvDone'd
 	reasm      []rxSeg
-	reasmBytes int
+	reasmBytes int32
 	finRcvd    bool
 
-	// Timers. The callbacks are bound once at connection setup: a method
-	// value like c.onRTO allocates a closure at each use, and the RTO
-	// re-arms once per transmitted segment.
+	// Timers. Callbacks are package-level trampolines passed through
+	// timerwheel.AddArg with the connection as the argument: a bound
+	// method value like c.onRTO would allocate a closure per arming (the
+	// RTO re-arms once per transmitted segment) or pin three per-conn
+	// closures for the connection's lifetime if bound once at setup.
 	rtoTimer *timerwheel.Timer
 	twTimer  *timerwheel.Timer
 	daTimer  *timerwheel.Timer
-	onRTOFn  func()
-	onTWFn   func()
-	onDAFn   func()
-	daSegs   int // in-order segments since last ACK sent
+	daSegs   uint8 // in-order segments since last ACK sent (reset at 2)
 
 	needAck bool
 	// synAckOwed marks an admitted embryonic connection whose SYN-ACK
@@ -424,7 +482,12 @@ func (c *Conn) mss() int { return c.stack.cfg.MSS }
 func (c *Conn) flight() uint32 { return c.sndNxt - c.sndUna }
 
 // retransLen returns the number of tracked unacknowledged segments.
-func (c *Conn) retransLen() int { return len(c.retransQ) - c.retransHead }
+func (c *Conn) retransLen() int {
+	if c.tx == nil {
+		return 0
+	}
+	return len(c.tx.q) - c.tx.head
+}
 
 // usableWindow returns how many more payload bytes the windows permit.
 func (c *Conn) usableWindow() int {
@@ -446,7 +509,7 @@ func (c *Conn) UsableWindow() int { return c.usableWindow() }
 // rcvWndAvail computes the receive window to advertise: total minus bytes
 // the application still holds (zero-copy flow control, §4.3).
 func (c *Conn) rcvWndAvail() int {
-	w := c.stack.cfg.RcvWnd - c.unconsumed - c.reasmBytes
+	w := c.stack.cfg.RcvWnd - int(c.unconsumed) - int(c.reasmBytes)
 	if w < 0 {
 		w = 0
 	}
@@ -455,7 +518,14 @@ func (c *Conn) rcvWndAvail() int {
 
 // Connect initiates an active open to dst:port, returning the new
 // connection in SynSent state. The Connected event reports the outcome.
-func (s *Stack) Connect(dst wire.IPv4, port uint16, cookie any) (*Conn, error) {
+// It is on the establishment fast path — the large Fig. 4 ramps open
+// millions of connections through it — so beyond the connection object
+// itself (newConn) it must not allocate: the table insert lands in
+// presized buckets and the SYN is assembled in the stack's shared
+// header scratch (TestZeroAllocConnEstablish pins this).
+//
+//ix:hotpath
+func (s *Stack) Connect(dst wire.IPv4, port uint16, cookie uint64) (*Conn, error) {
 	lp, err := s.allocPort(dst, port)
 	if err != nil {
 		return nil, err
@@ -475,14 +545,26 @@ func (s *Stack) Connect(dst wire.IPv4, port uint16, cookie any) (*Conn, error) {
 	return c, nil
 }
 
+var errPortSpaceExhausted = errors.New("tcp: ephemeral port space exhausted")
+
 // allocPort picks an ephemeral port not in use for the destination,
-// honoring the PortOK probe.
+// honoring the PortOK probe. The uniqueness probe is an establishment-path
+// table lookup; the exhaustion error is hoisted so the probe loop itself
+// never allocates.
+//
+//ix:hotpath
 func (s *Stack) allocPort(dst wire.IPv4, dport uint16) (uint16, error) {
 	for tries := 0; tries < 8192; tries++ {
 		p := s.nextPort
 		s.nextPort++
 		if s.nextPort == 0 {
-			s.nextPort = 32768
+			// Recycle through the full user range (the p < 1024 guard
+			// skips the reserved ports), not just 32768+: a shared-kernel
+			// client host opening >32k connections to one destination
+			// needs the widened ip_local_port_range, exactly as a real
+			// load-generator host sets it. Allocation starts at 32768, so
+			// runs that never exhaust the upper half are unaffected.
+			s.nextPort = 1024
 		}
 		if p < 1024 {
 			continue
@@ -496,7 +578,7 @@ func (s *Stack) allocPort(dst wire.IPv4, dport uint16) (uint16, error) {
 		}
 		return p, nil
 	}
-	return 0, fmt.Errorf("tcp: ephemeral port space exhausted")
+	return 0, errPortSpaceExhausted
 }
 
 func (s *Stack) newConn(key wire.FlowKey) *Conn {
@@ -510,16 +592,23 @@ func (s *Stack) newConn(key wire.FlowKey) *Conn {
 	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss
-	c.onRTOFn = c.onRTO
-	c.onTWFn = c.onTimeWait
-	c.onDAFn = c.onDelAck
 	return c
 }
+
+// Timer trampolines: package-level functions, so arming a timer stores
+// only the connection pointer (pointer-shaped any does not box).
+func connRTO(v any)      { v.(*Conn).onRTO() }
+func connTimeWait(v any) { v.(*Conn).onTimeWait() }
+func connDelAck(v any)   { v.(*Conn).onDelAck() }
 
 // Input processes one incoming TCP segment. seg is the TCP header+payload
 // bytes; buf is the backing mbuf (retained by reassembly/delivery via
 // refcounts); src/dst are the IP addresses. Invalid segments are counted
-// and dropped.
+// and dropped. The connection-table demux here is both the per-message
+// path and the establishment fast path (every handshake segment of a
+// Fig. 4 ramp passes through it), so it must not allocate.
+//
+//ix:hotpath
 func (s *Stack) Input(src, dst wire.IPv4, seg []byte, buf *mem.Mbuf) {
 	if !wire.VerifyTCPChecksum(src, dst, seg) {
 		s.BadChecksums++
@@ -561,6 +650,11 @@ func (s *Stack) Input(src, dst wire.IPv4, seg []byte, buf *mem.Mbuf) {
 // handshake reply assembled back-to-back through the stack's shared
 // header scratch at the batch boundary (where pure ACKs already leave).
 // The retransmission timer armed here covers the reply either way.
+// Beyond the connection object itself (newConn) the SYN-accept path must
+// not allocate: the table insert lands in presized buckets
+// (TestZeroAllocConnEstablish pins the whole passive handshake).
+//
+//ix:hotpath
 func (s *Stack) passiveOpen(l *Listener, key wire.FlowKey, hdr *wire.TCPHeader) {
 	if l.embryonic >= s.cfg.SynBacklog {
 		return // silently drop: SYN backlog full
@@ -699,7 +793,7 @@ func (c *Conn) processAck(hdr *wire.TCPHeader) {
 			if seqLT(ack, c.recoverSeq) && c.retransLen() > 0 {
 				// Partial ACK: retransmit the next hole now.
 				c.stack.Retransmits++
-				c.resend(&c.retransQ[c.retransHead])
+				c.resend(&c.tx.q[c.tx.head])
 			} else {
 				c.inRecovery = false
 			}
@@ -721,11 +815,17 @@ func (c *Conn) processAck(hdr *wire.TCPHeader) {
 // so the zero-copy payload references die with them, and returns the
 // payload bytes released — the count the sent event condition carries
 // so the sender's arena can reclaim (tx_sent). The trim advances the
-// ring head; the backing array resets once the queue drains.
+// ring head; a fully drained queue releases its whole txState back to
+// the stack pool, so an idle connection holds no send-queue storage
+// (and a loss burst's spilled backing cannot outlive the burst).
 func (c *Conn) ackRetransQ(ack uint32) int {
+	t := c.tx
+	if t == nil {
+		return 0
+	}
 	released := 0
-	for c.retransHead < len(c.retransQ) {
-		ts := &c.retransQ[c.retransHead]
+	for t.head < len(t.q) {
+		ts := &t.q[t.head]
 		end := ts.seq + uint32(ts.length)
 		if ts.fin {
 			end++
@@ -735,21 +835,21 @@ func (c *Conn) ackRetransQ(ack uint32) int {
 		}
 		released += ts.length
 		*ts = txSeg{}
-		c.retransHead++
+		t.head++
 	}
-	if c.retransHead == len(c.retransQ) {
-		c.retransQ = c.retransQ[:0]
-		c.retransHead = 0
-	} else if c.retransHead >= 32 && c.retransHead*2 >= len(c.retransQ) {
+	if t.head == len(t.q) {
+		c.stack.putTxState(t)
+		c.tx = nil
+	} else if t.head >= 32 && t.head*2 >= len(t.q) {
 		// A connection that always keeps a segment in flight never hits
 		// the empty reset; compact the live suffix to the front so the
 		// dead prefix cannot grow with connection lifetime.
-		n := copy(c.retransQ, c.retransQ[c.retransHead:])
-		for i := n; i < len(c.retransQ); i++ {
-			c.retransQ[i] = txSeg{} // drop duplicated payload references
+		n := copy(t.q, t.q[t.head:])
+		for i := n; i < len(t.q); i++ {
+			t.q[i] = txSeg{} // drop duplicated payload references
 		}
-		c.retransQ = c.retransQ[:n]
-		c.retransHead = 0
+		t.q = t.q[:n]
+		t.head = 0
 	}
 	return released
 }
@@ -824,7 +924,7 @@ func (c *Conn) fastRetransmit() {
 	c.cwnd = c.ssthresh
 	c.inRecovery = true
 	c.recoverSeq = c.sndNxt
-	c.resend(&c.retransQ[c.retransHead])
+	c.resend(&c.tx.q[c.tx.head])
 	c.armRTO()
 }
 
@@ -886,7 +986,7 @@ func (c *Conn) sendAckNow() {
 // advances rcvNxt; the window shrinks until RecvDone.
 func (c *Conn) deliver(payload []byte, buf *mem.Mbuf) {
 	c.rcvNxt += uint32(len(payload))
-	c.unconsumed += len(payload)
+	c.unconsumed += int32(len(payload))
 	c.stack.cfg.Events.Recv(c, buf, payload)
 }
 
@@ -915,7 +1015,7 @@ func (c *Conn) insertReasm(seq uint32, payload []byte, buf *mem.Mbuf) {
 	c.reasm = append(c.reasm, rxSeg{})
 	copy(c.reasm[pos+1:], c.reasm[pos:])
 	c.reasm[pos] = ins
-	c.reasmBytes += len(payload)
+	c.reasmBytes += int32(len(payload))
 }
 
 // drainReasm delivers now-in-order segments from the reassembly queue.
@@ -926,7 +1026,7 @@ func (c *Conn) drainReasm() {
 			return
 		}
 		c.reasm = c.reasm[1:]
-		c.reasmBytes -= len(rs.data)
+		c.reasmBytes -= int32(len(rs.data))
 		data := rs.data
 		if seqLT(rs.seq, c.rcvNxt) {
 			drop := seqDiff(c.rcvNxt, rs.seq)
@@ -943,6 +1043,10 @@ func (c *Conn) drainReasm() {
 			rs.buf.Unref() // deliver took its own semantics; see Recv contract
 		}
 	}
+	// Fully drained: drop the backing. Reordering is the exception on
+	// this fabric, so holding a burst's worth of rxSeg capacity on every
+	// connection that ever saw one would bleed the bytes/conn budget.
+	c.reasm = nil
 }
 
 // processFin handles a peer FIN at sequence finSeq.
@@ -997,7 +1101,7 @@ func (c *Conn) enterTimeWait() {
 	c.state = StateTimeWait
 	c.cancelRTO()
 	w := c.stack.cfg.Wheel
-	c.twTimer = w.Add(c.stack.cfg.Now()+int64(c.stack.cfg.TimeWait), c.onTWFn)
+	c.twTimer = w.AddArg(c.stack.cfg.Now()+int64(c.stack.cfg.TimeWait), connTimeWait, c)
 }
 
 // onTimeWait ends the 2MSL quiet period.
@@ -1077,7 +1181,10 @@ func (c *Conn) sendData(payload [][]byte, length int) {
 	c.sndNxt += uint32(length)
 	ts := txSeg{seq: seq, length: length, sentAt: c.stack.cfg.Now()}
 	ts.setPayload(payload)
-	c.retransQ = append(c.retransQ, ts)
+	if c.tx == nil {
+		c.tx = c.stack.getTxState()
+	}
+	c.tx.q = append(c.tx.q, ts)
 	if !c.rttPending {
 		c.rttPending = true
 		c.rttSeq = c.sndNxt
@@ -1122,7 +1229,10 @@ func (c *Conn) sendFIN() {
 	c.finQueued = true
 	seq := c.sndNxt
 	c.sndNxt++
-	c.retransQ = append(c.retransQ, txSeg{seq: seq, fin: true, sentAt: c.stack.cfg.Now()})
+	if c.tx == nil {
+		c.tx = c.stack.getTxState()
+	}
+	c.tx.q = append(c.tx.q, txSeg{seq: seq, fin: true, sentAt: c.stack.cfg.Now()})
 	hdr := c.makeHeader(seq, wire.TCPFin|wire.TCPAck)
 	c.needAck = false
 	c.cancelDelAck()
@@ -1138,7 +1248,7 @@ func (c *Conn) sendFIN() {
 // gratuitous pure ACK per application read.
 func (c *Conn) RecvDone(n int) {
 	prev := c.rcvWndAvail()
-	c.unconsumed -= n
+	c.unconsumed -= int32(n)
 	if c.unconsumed < 0 {
 		c.unconsumed = 0
 	}
@@ -1236,7 +1346,7 @@ func (c *Conn) scheduleDataAck() {
 		return
 	}
 	if c.daTimer == nil {
-		c.daTimer = c.stack.cfg.Wheel.Add(c.stack.cfg.Now()+int64(da), c.onDAFn)
+		c.daTimer = c.stack.cfg.Wheel.AddArg(c.stack.cfg.Now()+int64(da), connDelAck, c)
 	}
 }
 
@@ -1389,7 +1499,7 @@ func (s *Stack) Conns() []*Conn {
 func (c *Conn) armRTO() {
 	c.cancelRTO()
 	deadline := c.stack.cfg.Now() + int64(c.rto)
-	c.rtoTimer = c.stack.cfg.Wheel.Add(deadline, c.onRTOFn)
+	c.rtoTimer = c.stack.cfg.Wheel.AddArg(deadline, connRTO, c)
 }
 
 func (c *Conn) cancelRTO() {
@@ -1406,7 +1516,7 @@ func (c *Conn) onRTO() {
 		return
 	}
 	c.rexmitCount++
-	if c.rexmitCount > c.stack.cfg.MaxRexmits {
+	if int(c.rexmitCount) > c.stack.cfg.MaxRexmits {
 		c.destroy(ReasonTimeout)
 		return
 	}
@@ -1433,7 +1543,7 @@ func (c *Conn) onRTO() {
 		if c.retransLen() > 0 {
 			c.inRecovery = true
 			c.recoverSeq = c.sndNxt
-			c.resend(&c.retransQ[c.retransHead])
+			c.resend(&c.tx.q[c.tx.head])
 		}
 	}
 	c.armRTO()
@@ -1483,9 +1593,12 @@ func (c *Conn) destroy(reason Reason) {
 	}
 	c.reasm = nil
 	// Drop the retransmission queue's payload references: after Dead the
-	// sender reclaims its arena wholesale.
-	c.retransQ = nil
-	c.retransHead = 0
+	// sender reclaims its arena wholesale. putTxState zeroes the inline
+	// array and drops any spilled backing, so the references die with it.
+	if c.tx != nil {
+		c.stack.putTxState(c.tx)
+		c.tx = nil
+	}
 	delete(c.stack.conns, c.key)
 	if prev == StateSynSent {
 		c.stack.cfg.Events.Connected(c, false)

@@ -161,7 +161,7 @@ func (n *testNet) open(t *testing.T, port uint16) (client, server *Conn) {
 	if _, err := n.b.stack.Listen(port, nil); err != nil {
 		t.Fatal(err)
 	}
-	c, err := n.a.stack.Connect(n.b.ip, port, "cookie")
+	c, err := n.a.stack.Connect(n.b.ip, port, 0xc0de)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestHandshake(t *testing.T) {
 	if c.Key().Reverse() != s.Key() {
 		t.Fatalf("keys inconsistent: %v vs %v", c.Key(), s.Key())
 	}
-	if s.Cookie != nil {
+	if s.Cookie != 0 {
 		// Server cookie assigned by accept; zero until then.
 		t.Fatalf("unexpected server cookie %v", s.Cookie)
 	}
@@ -468,7 +468,7 @@ func TestOrderlyClose(t *testing.T) {
 
 func TestConnectRefused(t *testing.T) {
 	n := newTestNet(t, nil)
-	c, err := n.a.stack.Connect(n.b.ip, 9999, nil) // nobody listening
+	c, err := n.a.stack.Connect(n.b.ip, 9999, 0) // nobody listening
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,7 +511,7 @@ func TestPortProbing(t *testing.T) {
 			return p%4 == 0
 		},
 	})
-	c, err := n.a.stack.Connect(n.b.ip, 80, nil)
+	c, err := n.a.stack.Connect(n.b.ip, 80, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -527,7 +527,7 @@ func TestEphemeralPortsDistinct(t *testing.T) {
 	n := newTestNet(t, nil)
 	seen := map[uint16]bool{}
 	for i := 0; i < 100; i++ {
-		c, err := n.a.stack.Connect(n.b.ip, 80, nil)
+		c, err := n.a.stack.Connect(n.b.ip, 80, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -675,7 +675,7 @@ func TestBatchedSynAdmission(t *testing.T) {
 	}
 	// Three active opens queue three SYNs.
 	for i := 0; i < 3; i++ {
-		if _, err := n.a.stack.Connect(n.b.ip, 80, nil); err != nil {
+		if _, err := n.a.stack.Connect(n.b.ip, 80, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -725,7 +725,7 @@ func TestBatchedSynAdmissionAbortedBeforeFlush(t *testing.T) {
 	if _, err := n.b.stack.Listen(80, nil); err != nil {
 		t.Fatal(err)
 	}
-	c, err := n.a.stack.Connect(n.b.ip, 80, nil)
+	c, err := n.a.stack.Connect(n.b.ip, 80, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

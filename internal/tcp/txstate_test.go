@@ -1,0 +1,239 @@
+package tcp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ix/internal/mem"
+	"ix/internal/timerwheel"
+	"ix/internal/wire"
+)
+
+// txTestConn builds a stack with a hand-established connection, the
+// standard fixture of the zero-copy tests.
+func txTestConn(t *testing.T, out Output) (*Stack, *Conn, *quietEvents, *int64) {
+	t.Helper()
+	ev := &quietEvents{}
+	var now int64
+	wheel := timerwheel.New(timerwheel.DefaultTick, 0)
+	if out == nil {
+		out = func(c *Conn, hdr *wire.TCPHeader, payload [][]byte) {}
+	}
+	s := NewStack(Config{
+		LocalIP: wire.Addr4(10, 0, 0, 1),
+		Now:     func() int64 { return now },
+		Wheel:   wheel,
+		Output:  out,
+		Events:  ev,
+		Seed:    7,
+	})
+	c, err := s.Connect(wire.Addr4(10, 0, 0, 2), 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.state = StateEstablished
+	c.sndUna = c.iss + 1
+	c.sndNxt = c.sndUna
+	c.sndWnd = 1 << 20
+	c.cancelRTO()
+	return s, c, ev, &now
+}
+
+// ackTo delivers a cumulative ACK for everything up to ack.
+func ackTo(s *Stack, c *Conn, ack uint32) {
+	var buf [64]byte
+	hdr := wire.TCPHeader{
+		SrcPort: c.key.DstPort, DstPort: c.key.SrcPort,
+		Seq: c.rcvNxt, Ack: ack, Flags: wire.TCPAck,
+		Window: 0xffff, WScale: -1,
+	}
+	seg := buf[:hdr.Len()]
+	hdr.Marshal(seg)
+	srcIP, dstIP := wire.Addr4(10, 0, 0, 2), wire.Addr4(10, 0, 0, 1)
+	wire.SetTCPChecksum(srcIP, dstIP, seg)
+	s.Input(srcIP, dstIP, seg, nil)
+}
+
+// TestTxStateInlineSteadyState: request-response traffic (one segment in
+// flight at a time) must stay on the txState's inline array — no spill —
+// and an idle connection must hold no txState at all.
+func TestTxStateInlineSteadyState(t *testing.T) {
+	s, c, _, _ := txTestConn(t, nil)
+	if c.tx != nil {
+		t.Fatal("fresh connection holds a txState before any transmit")
+	}
+	msg := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		c.Send(msg)
+		if c.tx == nil {
+			t.Fatal("in-flight segment without a txState")
+		}
+		if got := cap(c.tx.q); got != retransInline {
+			t.Fatalf("iteration %d: steady-state send spilled (cap=%d, want inline %d)",
+				i, got, retransInline)
+		}
+		if &c.tx.q[0] != &c.tx.inl[0] {
+			t.Fatalf("iteration %d: queue no longer aliases the inline array", i)
+		}
+		ackTo(s, c, c.sndNxt)
+		if c.tx != nil {
+			t.Fatalf("iteration %d: drained queue kept its txState", i)
+		}
+	}
+	if len(s.txFree) != 1 {
+		t.Fatalf("pool holds %d states after one-at-a-time traffic, want 1", len(s.txFree))
+	}
+}
+
+// TestTxStateSpillReleasedOnDrain is the red/green regression for the
+// retained-spill leak: a burst that grows the queue past the inline
+// capacity used to pin that backing for the connection's lifetime. The
+// footprint must return to the idle baseline once the burst drains.
+func TestTxStateSpillReleasedOnDrain(t *testing.T) {
+	s, c, _, _ := txTestConn(t, nil)
+
+	// Idle baseline: one send/ack cycle, fully drained.
+	msg := make([]byte, 64)
+	c.Send(msg)
+	ackTo(s, c, c.sndNxt)
+	base := s.Footprint()
+	if c.tx != nil {
+		t.Fatal("baseline connection still holds a txState")
+	}
+
+	// Burst: pipeline well past the inline capacity without an ACK.
+	const burst = 40
+	for i := 0; i < burst; i++ {
+		c.Send(msg)
+	}
+	if c.tx == nil || cap(c.tx.q) <= retransInline {
+		t.Fatalf("burst of %d segments did not spill (cap=%v)", burst, c.tx != nil)
+	}
+	spilled := s.Footprint()
+	if spilled.Bytes <= base.Bytes {
+		t.Fatal("footprint does not see the spilled backing")
+	}
+
+	// Drain: cumulative ACK for the whole burst.
+	ackTo(s, c, c.sndNxt)
+	if c.tx != nil {
+		t.Fatal("drained queue kept its txState (spill backing retained)")
+	}
+	if got := s.Footprint(); got.Bytes != base.Bytes {
+		t.Fatalf("footprint after recovery = %d bytes, want idle baseline %d (leak: %+d)",
+			got.Bytes, base.Bytes, got.Bytes-base.Bytes)
+	}
+	// The pooled state must come back clean: no stale payload references
+	// in the inline array, queue re-aliased to it.
+	st := s.getTxState()
+	if len(st.q) != 0 || cap(st.q) != retransInline || st.head != 0 {
+		t.Fatalf("recycled txState not reset: len=%d cap=%d head=%d", len(st.q), cap(st.q), st.head)
+	}
+	for i := range st.inl {
+		if st.inl[i].frag0 != nil || st.inl[i].extra != nil {
+			t.Fatalf("recycled txState inline[%d] still references payload", i)
+		}
+	}
+}
+
+// TestTxStateRTOStormOrdering drives the inline→spill→release transition
+// under burst loss with an RTO storm: a pipelined window is never ACKed,
+// the RTO fires repeatedly (backoff), and recovery retransmits must
+// carry byte-identical payloads in sequence order — the zero-copy
+// references survive the spill, the trim-time compaction and the pooled
+// release. Finally the cumulative ACK drains everything and the arena
+// reclaims in full.
+func TestTxStateRTOStormOrdering(t *testing.T) {
+	type emission struct {
+		seq  uint32
+		data []byte
+	}
+	var sent []emission
+	out := func(c *Conn, hdr *wire.TCPHeader, payload [][]byte) {
+		var buf []byte
+		for _, p := range payload {
+			buf = append(buf, p...)
+		}
+		sent = append(sent, emission{seq: hdr.Seq, data: buf})
+	}
+	s, c, ev, now := txTestConn(t, out)
+
+	pool := mem.NewTxChunkPool(mem.NewRegion(4), 0)
+	var arena mem.TxArena
+	arena.Init(pool)
+
+	// Distinct payload per segment so misordered retransmits are visible.
+	const segs = 24
+	first := map[uint32][]byte{}
+	for i := 0; i < segs; i++ {
+		msg := bytes.Repeat([]byte{byte(i + 1)}, 64)
+		v := arena.Append(msg)
+		if got := c.Send(v); got != len(v) {
+			t.Fatalf("window closed at segment %d", i)
+		}
+		e := sent[len(sent)-1]
+		first[e.seq] = append([]byte(nil), e.data...)
+	}
+	if cap(c.tx.q) <= retransInline {
+		t.Fatal("pipelined burst did not spill")
+	}
+
+	// Storm: no ACKs arrive; fire the RTO through several backoff rounds.
+	// Each firing retransmits the head segment (go-back-N recovery driven
+	// by partial ACKs would follow; the storm exercises the head resend).
+	firstLen := len(sent)
+	for round := 0; round < 4; round++ {
+		next, ok := s.cfg.Wheel.NextDeadline()
+		if !ok {
+			t.Fatalf("round %d: no RTO armed during storm", round)
+		}
+		*now = next
+		s.cfg.Wheel.Advance(next)
+		if c.state == StateClosed {
+			t.Fatalf("round %d: storm killed the connection (MaxRexmits too low for test)", round)
+		}
+	}
+	if len(sent) == firstLen {
+		t.Fatal("RTO storm retransmitted nothing")
+	}
+	for _, e := range sent[firstLen:] {
+		want, ok := first[e.seq]
+		if !ok {
+			t.Fatalf("retransmit of never-sent seq %d", e.seq)
+		}
+		if !bytes.Equal(want, e.data) {
+			t.Fatalf("retransmit of seq %d carries different bytes (arena immutability violated)", e.seq)
+		}
+	}
+
+	// Partial ACKs walk the recovery forward one hole at a time; each
+	// must resend the next hole, in order.
+	resendStart := len(sent)
+	una := c.sndUna
+	for i := 0; i < segs-1; i++ {
+		ackTo(s, c, una+uint32((i+1)*64))
+	}
+	var prev uint32
+	for i, e := range sent[resendStart:] {
+		if i > 0 && !seqLT(prev, e.seq) {
+			t.Fatalf("recovery resent out of order: seq %d after %d", e.seq, prev)
+		}
+		prev = e.seq
+	}
+
+	// Final cumulative ACK: queue drains, state releases, arena reclaims.
+	ackTo(s, c, c.sndNxt)
+	if c.tx != nil {
+		t.Fatal("queue drained but txState retained")
+	}
+	arena.Release(ev.released)
+	if arena.Live() != 0 || pool.InUse() != 0 {
+		t.Fatalf("arena not reclaimed after drain: live=%d chunks=%d", arena.Live(), pool.InUse())
+	}
+	fp := s.Footprint()
+	idle := fmt.Sprintf("%d conns / %d bytes", fp.Conns, fp.Bytes)
+	if fp.Conns != 1 {
+		t.Fatalf("unexpected population: %s", idle)
+	}
+}

@@ -302,7 +302,7 @@ func TestZeroAllocSteadySend(t *testing.T) {
 		Events:  ev,
 		Seed:    7,
 	})
-	c, err := s.Connect(wire.Addr4(10, 0, 0, 2), 80, nil)
+	c, err := s.Connect(wire.Addr4(10, 0, 0, 2), 80, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +369,7 @@ func TestRetransQBoundedUnderPipelining(t *testing.T) {
 		Events:  ev,
 		Seed:    7,
 	})
-	c, err := s.Connect(wire.Addr4(10, 0, 0, 2), 80, nil)
+	c, err := s.Connect(wire.Addr4(10, 0, 0, 2), 80, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestRetransQBoundedUnderPipelining(t *testing.T) {
 			t.Fatalf("iteration %d: %d segments outstanding, want 1", i, c.retransLen())
 		}
 	}
-	if len(c.retransQ) > 96 {
-		t.Fatalf("retransQ backing holds %d entries for 1 live segment; dead prefix not compacted", len(c.retransQ))
+	if len(c.tx.q) > 96 {
+		t.Fatalf("retransQ backing holds %d entries for 1 live segment; dead prefix not compacted", len(c.tx.q))
 	}
 }
